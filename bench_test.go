@@ -1,0 +1,322 @@
+package catdet
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation section, plus ablation benches for the design choices
+// DESIGN.md calls out. Each benchmark regenerates its experiment on a
+// reduced (but statistically stable) world and reports the headline
+// quantities via b.ReportMetric, so `go test -bench=.` doubles as a
+// compact reproduction run. The full-scale tables are produced by
+// cmd/experiments.
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/detector"
+	"repro/internal/geom"
+	"repro/internal/gpumodel"
+	"repro/internal/metrics"
+	"repro/internal/ops"
+	"repro/internal/sim"
+	"repro/internal/tracker"
+	"repro/internal/video"
+)
+
+var (
+	benchOnce  sync.Once
+	benchKITTI *dataset.Dataset
+	benchCity  *dataset.Dataset
+)
+
+func benchData() (*dataset.Dataset, *dataset.Dataset) {
+	benchOnce.Do(func() {
+		kp := video.KITTIPreset()
+		kp.NumSequences = 4
+		kp.FramesPerSeq = 250
+		benchKITTI = video.Generate(kp, 1)
+
+		cp := video.CityPersonsPreset()
+		cp.NumSequences = 40
+		benchCity = video.Generate(cp, 1)
+	})
+	return benchKITTI, benchCity
+}
+
+func BenchmarkTable1ProposalNetOps(b *testing.B) {
+	var rows []sim.Table1Row
+	for i := 0; i < b.N; i++ {
+		rows = sim.Table1()
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.Gops, r.Spec.Name+"_Gops")
+	}
+}
+
+func BenchmarkTable2KITTIMain(b *testing.B) {
+	ds, _ := benchData()
+	var rows []sim.MainRow
+	for i := 0; i < b.N; i++ {
+		rows = sim.Table2(ds)
+	}
+	b.ReportMetric(rows[0].MAPHard, "single_mAP_hard")
+	b.ReportMetric(rows[2].MAPHard, "catdet10a_mAP_hard")
+	b.ReportMetric(rows[0].Gops/rows[2].Gops, "catdet10a_ops_saving_x")
+	b.ReportMetric(rows[0].Gops/rows[4].Gops, "catdet10b_ops_saving_x")
+}
+
+func BenchmarkTable3OpsBreakdown(b *testing.B) {
+	ds, _ := benchData()
+	var rows []sim.BreakdownRow
+	for i := 0; i < b.N; i++ {
+		rows = sim.Table3(ds)
+	}
+	// CaTDet (10a, 50) row.
+	b.ReportMetric(rows[1].Proposal, "proposal_Gops")
+	b.ReportMetric(rows[1].Refinement, "refinement_Gops")
+	b.ReportMetric(rows[1].FromTracker, "from_tracker_Gops")
+	b.ReportMetric(rows[1].FromProposal, "from_proposal_Gops")
+}
+
+func BenchmarkTable4ProposalNets(b *testing.B) {
+	ds, _ := benchData()
+	var rows []sim.StudyRow
+	for i := 0; i < b.N; i++ {
+		rows = sim.Table4(ds)
+	}
+	spreadSingle := rows[0].MAP - rows[6].MAP // res18 single vs res10c single
+	spreadCat := math.Abs(rows[1].MAP - rows[7].MAP)
+	b.ReportMetric(spreadSingle, "single_mAP_spread")
+	b.ReportMetric(spreadCat, "catdet_mAP_spread")
+}
+
+func BenchmarkTable5RefinementNets(b *testing.B) {
+	ds, _ := benchData()
+	var rows []sim.StudyRow
+	for i := 0; i < b.N; i++ {
+		rows = sim.Table5(ds)
+	}
+	for i := 0; i < len(rows); i += 2 {
+		b.ReportMetric(rows[i+1].MAP-rows[i].MAP, rows[i].Model+"_catdetR_minus_single_mAP")
+	}
+}
+
+func BenchmarkTable6CityPersons(b *testing.B) {
+	_, city := benchData()
+	var rows []sim.CityRow
+	for i := 0; i < b.N; i++ {
+		rows = sim.Table6(city)
+	}
+	b.ReportMetric(rows[0].MAP, "single_mAP")
+	b.ReportMetric(rows[1].MAP, "cascaded10a_mAP")
+	b.ReportMetric(rows[2].MAP, "catdet10a_mAP")
+	b.ReportMetric(rows[0].Gops/rows[4].Gops, "catdet10b_ops_saving_x")
+}
+
+func BenchmarkTable7GPUTiming(b *testing.B) {
+	ds, _ := benchData()
+	var rows []sim.TimingRow
+	for i := 0; i < b.N; i++ {
+		rows = sim.Table7(ds)
+	}
+	b.ReportMetric(rows[0].GPUOnly, "single_gpu_s")
+	b.ReportMetric(rows[1].GPUOnly, "catdet_gpu_s")
+	b.ReportMetric(rows[0].Total, "single_total_s")
+	b.ReportMetric(rows[1].Total, "catdet_total_s")
+}
+
+func BenchmarkTable8RetinaNet(b *testing.B) {
+	ds, _ := benchData()
+	var rows []sim.StudyRow
+	for i := 0; i < b.N; i++ {
+		rows = sim.Table8(ds)
+	}
+	b.ReportMetric(rows[0].MAP, "single_mAP_moderate")
+	b.ReportMetric(rows[1].MAP, "catdet_mAP_moderate")
+	b.ReportMetric(rows[0].Gops/rows[1].Gops, "ops_saving_x")
+}
+
+func BenchmarkFigure6CThreshSweep(b *testing.B) {
+	ds, _ := benchData()
+	// A reduced grid keeps the bench under control; cmd/experiments
+	// runs the paper's full grid.
+	grid := []float64{0.01, 0.1, 0.6}
+	var pts []sim.SweepPoint
+	for i := 0; i < b.N; i++ {
+		pts = sim.Figure6(ds, grid)
+	}
+	// Report the tracker-vs-no-tracker mAP gap for resnet10a at the
+	// lowest and highest thresholds.
+	var withLo, withHi, withoutLo, withoutHi float64
+	for _, p := range pts {
+		if p.Model != "resnet10a" {
+			continue
+		}
+		switch {
+		case p.Tracker && p.CThresh == grid[0]:
+			withLo = p.MAP
+		case p.Tracker && p.CThresh == grid[len(grid)-1]:
+			withHi = p.MAP
+		case !p.Tracker && p.CThresh == grid[0]:
+			withoutLo = p.MAP
+		case !p.Tracker && p.CThresh == grid[len(grid)-1]:
+			withoutHi = p.MAP
+		}
+	}
+	b.ReportMetric(withLo-withHi, "with_tracker_mAP_drop")
+	b.ReportMetric(withoutLo-withoutHi, "without_tracker_mAP_drop")
+	b.ReportMetric(withLo-withoutLo, "tracker_gain_at_low_cthresh")
+}
+
+func BenchmarkFigure7DelayRecall(b *testing.B) {
+	ds, _ := benchData()
+	var curves map[dataset.Class][]metrics.CurvePoint
+	for i := 0; i < b.N; i++ {
+		curves = sim.Figure7(ds)
+	}
+	for _, c := range ds.Classes {
+		if pts := curves[c]; len(pts) > 0 {
+			b.ReportMetric(pts[0].Recall, c.String()+"_recall_at_p05")
+			b.ReportMetric(pts[0].Delay, c.String()+"_delay_at_p05")
+		}
+	}
+}
+
+// BenchmarkTrackerThroughput measures raw tracker frames/second on a
+// KITTI-like detection stream (the paper reports 1082 fps on one Xeon
+// core for the Python implementation).
+func BenchmarkTrackerThroughput(b *testing.B) {
+	ds, _ := benchData()
+	seq := &ds.Sequences[0]
+	// Precompute per-frame ground-truth "detections".
+	frames := make([][]geom.Scored, len(seq.Frames))
+	for fi := range seq.Frames {
+		for _, o := range seq.Frames[fi].Objects {
+			frames[fi] = append(frames[fi], geom.Scored{Box: o.Box, Score: 1, Class: int(o.Class)})
+		}
+	}
+	b.ResetTimer()
+	processed := 0
+	for i := 0; i < b.N; i++ {
+		trk := tracker.New(tracker.DefaultConfig(), float64(seq.Width), float64(seq.Height))
+		for fi := range frames {
+			trk.Observe(frames[fi])
+			trk.Predict()
+			processed++
+		}
+	}
+	b.ReportMetric(float64(processed)/b.Elapsed().Seconds(), "frames/s")
+}
+
+// --- Ablation benches (design choices from DESIGN.md §4) ---
+
+func ablationRun(b *testing.B, cfg core.Config) (mapHard float64, gops float64) {
+	ds, _ := benchData()
+	spec := sim.SystemSpec{Kind: sim.CaTDet, Proposal: "resnet10a", Refinement: "resnet50", Cfg: cfg}
+	var ev sim.Evaluation
+	var r *sim.RunResult
+	for i := 0; i < b.N; i++ {
+		r = sim.Run(spec.MustBuild(ds.Classes), ds)
+		ev = sim.Evaluate(ds, r, dataset.Hard, sim.Beta)
+	}
+	return ev.MAP, r.AvgGops()
+}
+
+// Exponential-decay motion model (the paper's choice) vs SORT's Kalman
+// filter.
+func BenchmarkAblationMotionModel(b *testing.B) {
+	decayCfg := core.DefaultConfig()
+	kalman := tracker.DefaultConfig()
+	kalman.Motion = tracker.Kalman
+	kalmanCfg := core.DefaultConfig()
+	kalmanCfg.Tracker = &kalman
+
+	mapDecay, _ := ablationRun(b, decayCfg)
+	mapKalman, _ := ablationRun(b, kalmanCfg)
+	b.ReportMetric(mapDecay, "mAP_decay")
+	b.ReportMetric(mapKalman, "mAP_kalman")
+}
+
+// Adaptive match/miss confidence vs a fixed track age (every track
+// coasts the same number of frames after a miss).
+func BenchmarkAblationTrackRetention(b *testing.B) {
+	fixed := tracker.DefaultConfig()
+	fixed.InitialConfidence = fixed.MaxConfidence // no need to earn retention
+	fixedCfg := core.DefaultConfig()
+	fixedCfg.Tracker = &fixed
+
+	mapAdaptive, gopsAdaptive := ablationRun(b, core.DefaultConfig())
+	mapFixed, gopsFixed := ablationRun(b, fixedCfg)
+	b.ReportMetric(mapAdaptive, "mAP_adaptive")
+	b.ReportMetric(mapFixed, "mAP_fixed_age")
+	b.ReportMetric(gopsFixed-gopsAdaptive, "extra_Gops_fixed_age")
+}
+
+// Prediction workload filters (min width, boundary chop) on vs off.
+func BenchmarkAblationPredictionFilter(b *testing.B) {
+	open := tracker.DefaultConfig()
+	open.MinPredWidth = 0
+	open.MinVisibleFrac = 0
+	openCfg := core.DefaultConfig()
+	openCfg.Tracker = &open
+
+	mapFiltered, gopsFiltered := ablationRun(b, core.DefaultConfig())
+	mapOpen, gopsOpen := ablationRun(b, openCfg)
+	b.ReportMetric(mapFiltered, "mAP_filtered")
+	b.ReportMetric(mapOpen, "mAP_unfiltered")
+	b.ReportMetric(gopsOpen-gopsFiltered, "Gops_saved_by_filters")
+}
+
+// Per-class association (the paper's rule) vs class-agnostic matching.
+func BenchmarkAblationClassAgnostic(b *testing.B) {
+	agnostic := tracker.DefaultConfig()
+	agnostic.PerClass = false
+	agnosticCfg := core.DefaultConfig()
+	agnosticCfg.Tracker = &agnostic
+
+	mapPerClass, _ := ablationRun(b, core.DefaultConfig())
+	mapAgnostic, _ := ablationRun(b, agnosticCfg)
+	b.ReportMetric(mapPerClass, "mAP_per_class")
+	b.ReportMetric(mapAgnostic, "mAP_class_agnostic")
+}
+
+// Greedy GPU region merging vs launching every region separately.
+func BenchmarkAblationGPUMerge(b *testing.B) {
+	ds, _ := benchData()
+	gm := gpumodel.Default()
+	refCost := ops.MustCostModel("resnet50")
+	spec := sim.SystemSpec{Kind: sim.CaTDet, Proposal: "resnet10a", Refinement: "resnet50", Cfg: core.DefaultConfig()}
+
+	var merged, unmerged float64
+	for i := 0; i < b.N; i++ {
+		merged, unmerged = 0, 0
+		sys := spec.MustBuild(ds.Classes).(*core.CaTDet)
+		frames := 0
+		for si := range ds.Sequences {
+			seq := &ds.Sequences[si]
+			sys.Reset(seq)
+			for fi := range seq.Frames {
+				out := sys.Step(detector.Frame{
+					SeqID: seq.ID, Index: fi, Width: seq.Width, Height: seq.Height,
+					Objects: seq.Frames[fi].Objects,
+				})
+				ft := gm.CaTDetFrame(out.Ops.Proposal, out.Regions,
+					float64(seq.Width), float64(seq.Height), refCost, out.NumProposals)
+				merged += ft.GPU
+				// Unmerged: every region is its own launch.
+				u := gm.LaunchTime(out.Ops.Proposal)
+				for _, reg := range out.Regions {
+					u += gm.LaunchTime(gm.RegionWorkload(reg, float64(seq.Width), float64(seq.Height), refCost, 0))
+				}
+				unmerged += u
+				frames++
+			}
+		}
+		merged /= float64(frames)
+		unmerged /= float64(frames)
+	}
+	b.ReportMetric(merged, "gpu_s_merged")
+	b.ReportMetric(unmerged, "gpu_s_unmerged")
+}

@@ -1,0 +1,140 @@
+// Package catdet is the public API of the CaTDet reproduction: a
+// cascaded, tracker-assisted video object detection system (Mao, Kong,
+// Dally — "CaTDet: Cascaded Tracked Detector for Efficient Object
+// Detection from Video", MLSYS 2019) together with the synthetic
+// evaluation substrate used to reproduce the paper's experiments.
+//
+// The package re-exports the stable surface of the internal packages:
+//
+//   - building detection systems (single-model / cascaded / CaTDet) from
+//     the calibrated model zoo;
+//   - generating synthetic KITTI-like and CityPersons-like datasets;
+//   - running systems over datasets and evaluating mAP and mean Delay;
+//   - regenerating every table and figure of the paper's evaluation.
+//
+// Quick start:
+//
+//	ds := catdet.GenerateKITTI(1)
+//	sys := catdet.MustSystem(catdet.SystemSpec{
+//		Kind: catdet.CaTDet, Proposal: "resnet10a", Refinement: "resnet50",
+//		Cfg: catdet.DefaultConfig(),
+//	}, ds.Classes)
+//	run := catdet.Run(sys, ds)
+//	ev := catdet.Evaluate(ds, run, catdet.Hard, 0.8)
+//	fmt.Printf("mAP=%.3f mD@0.8=%.1f at %.1f Gops/frame\n", ev.MAP, ev.MeanDelay, run.AvgGops())
+package catdet
+
+import (
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/detector"
+	"repro/internal/sim"
+	"repro/internal/tracker"
+	"repro/internal/video"
+)
+
+// Re-exported data-model types.
+type (
+	// Dataset is a collection of labeled video sequences.
+	Dataset = dataset.Dataset
+	// Sequence is one contiguous clip with per-frame ground truth.
+	Sequence = dataset.Sequence
+	// Object is one ground-truth object in one frame.
+	Object = dataset.Object
+	// Class is an object category (Car, Pedestrian).
+	Class = dataset.Class
+	// Difficulty is a KITTI evaluation difficulty level.
+	Difficulty = dataset.Difficulty
+)
+
+// Re-exported system types.
+type (
+	// System is a causal video detector.
+	System = core.System
+	// Config holds the cascade hyper-parameters (C-thresh, tracker
+	// input threshold, region margin).
+	Config = core.Config
+	// SystemSpec names a system to build.
+	SystemSpec = sim.SystemSpec
+	// SystemKind selects single-model, cascaded or CaTDet.
+	SystemKind = sim.SystemKind
+	// RunResult is the outcome of running a system over a dataset.
+	RunResult = sim.RunResult
+	// Evaluation bundles mAP and mean-Delay results.
+	Evaluation = sim.Evaluation
+	// TrackerConfig holds the SORT-style tracker parameters.
+	TrackerConfig = tracker.Config
+	// Detector is a simulated detection model with a cost model.
+	Detector = detector.Detector
+	// WorldPreset describes a synthetic dataset generator.
+	WorldPreset = video.Preset
+)
+
+// Classes.
+const (
+	Car        = dataset.Car
+	Pedestrian = dataset.Pedestrian
+)
+
+// Difficulties.
+const (
+	Easy     = dataset.Easy
+	Moderate = dataset.Moderate
+	Hard     = dataset.Hard
+)
+
+// System kinds.
+const (
+	Single   = sim.Single
+	Cascaded = sim.Cascaded
+	CaTDet   = sim.CaTDet
+)
+
+// DefaultConfig returns the cascade settings used for the paper's main
+// tables.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// DefaultTrackerConfig returns the paper's tracker settings (eta=0.7,
+// beta=0, adaptive confidence, 10px/boundary prediction filters).
+func DefaultTrackerConfig() TrackerConfig { return tracker.DefaultConfig() }
+
+// NewDetector builds a calibrated simulated detector from a zoo name:
+// resnet50, vgg16, resnet18, resnet10a/b/c, retinanet-res50.
+func NewDetector(name string) (*Detector, error) { return detector.New(name) }
+
+// ModelNames lists the zoo models.
+func ModelNames() []string { return detector.ProfileNames() }
+
+// MustSystem builds a detection system from a spec, panicking on
+// unknown model names.
+func MustSystem(spec SystemSpec, classes []Class) System { return spec.MustBuild(classes) }
+
+// NewSystem builds a detection system from a spec.
+func NewSystem(spec SystemSpec, classes []Class) (System, error) { return spec.Build(classes) }
+
+// KITTIPreset returns the synthetic KITTI-like world preset.
+func KITTIPreset() WorldPreset { return video.KITTIPreset() }
+
+// CityPersonsPreset returns the synthetic CityPersons-like preset.
+func CityPersonsPreset() WorldPreset { return video.CityPersonsPreset() }
+
+// MiniKITTIPreset returns a small fast preset for demos and tests.
+func MiniKITTIPreset() WorldPreset { return video.MiniKITTIPreset() }
+
+// Generate builds the synthetic dataset for a preset and seed.
+func Generate(p WorldPreset, seed int64) *Dataset { return video.Generate(p, seed) }
+
+// GenerateKITTI builds the full KITTI-sim dataset (21 sequences, ~8000
+// frames).
+func GenerateKITTI(seed int64) *Dataset { return video.Generate(video.KITTIPreset(), seed) }
+
+// Run executes a system over a dataset sequence by sequence.
+func Run(sys System, ds *Dataset) *RunResult { return sim.Run(sys, ds) }
+
+// Evaluate computes mAP and (for densely labeled datasets) mD@beta.
+func Evaluate(ds *Dataset, r *RunResult, diff Difficulty, beta float64) Evaluation {
+	return sim.Evaluate(ds, r, diff, beta)
+}
+
+// LoadDataset reads a dataset from a JSON (optionally .gz) file.
+func LoadDataset(path string) (*Dataset, error) { return dataset.LoadFile(path) }

@@ -1,0 +1,148 @@
+package catdet
+
+// End-to-end tests through the public facade, including the oracle
+// invariant: a pipeline fed a perfect detector must produce perfect
+// metrics, which exercises every layer (world, systems, tracker,
+// matching, AP, delay) at once.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/detector"
+	"repro/internal/sim"
+)
+
+func TestFacadeQuickstartPath(t *testing.T) {
+	ds := Generate(MiniKITTIPreset(), 42)
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sys := MustSystem(SystemSpec{
+		Kind: CaTDet, Proposal: "resnet10a", Refinement: "resnet50", Cfg: DefaultConfig(),
+	}, ds.Classes)
+	run := Run(sys, ds)
+	ev := Evaluate(ds, run, Hard, 0.8)
+	if ev.MAP <= 0.5 || ev.MAP > 1 {
+		t.Fatalf("mAP = %v", ev.MAP)
+	}
+	if math.IsNaN(ev.MeanDelay) || ev.MeanDelay < 0 {
+		t.Fatalf("delay = %v", ev.MeanDelay)
+	}
+	if run.AvgGops() <= 0 || run.AvgGops() > 254.3 {
+		t.Fatalf("Gops = %v", run.AvgGops())
+	}
+}
+
+func TestFacadeErrorsOnUnknownModel(t *testing.T) {
+	if _, err := NewSystem(SystemSpec{Kind: Single, Refinement: "alexnet"}, nil); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := NewDetector("alexnet"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestFacadeModelNames(t *testing.T) {
+	names := ModelNames()
+	if len(names) < 7 {
+		t.Fatalf("model zoo too small: %v", names)
+	}
+	for _, n := range names {
+		if _, err := NewDetector(n); err != nil {
+			t.Errorf("%s: %v", n, err)
+		}
+	}
+}
+
+// Oracle invariant: a single-model system with a perfect detector
+// scores mAP 1.0 and zero delay on any world.
+func TestOracleSingleModelIsPerfect(t *testing.T) {
+	ds := Generate(MiniKITTIPreset(), 7)
+	oracle := detector.NewOracle(detector.FreeCost{})
+	oracle.Classes = ds.Classes
+	sys := core.NewSingleModel(oracle)
+	run := sim.Run(sys, ds)
+	ev := sim.Evaluate(ds, run, dataset.Hard, 0.8)
+	if math.Abs(ev.MAP-1) > 1e-6 {
+		t.Fatalf("oracle mAP = %v, want 1", ev.MAP)
+	}
+	if ev.MeanDelay > 1e-9 {
+		t.Fatalf("oracle delay = %v, want 0", ev.MeanDelay)
+	}
+}
+
+// Oracle cascade invariant: an oracle proposal net plus an oracle
+// refinement net must also be perfect — the cascade plumbing (masks,
+// margins, thresholds) must not lose anything.
+func TestOracleCascadeIsPerfect(t *testing.T) {
+	ds := Generate(MiniKITTIPreset(), 7)
+	newOracle := func() *detector.Detector {
+		o := detector.NewOracle(detector.FreeCost{})
+		o.Classes = ds.Classes
+		return o
+	}
+	for _, kind := range []SystemKind{Cascaded, CaTDet} {
+		var sys System
+		if kind == Cascaded {
+			sys = core.NewCascaded(newOracle(), newOracle(), DefaultConfig())
+		} else {
+			sys = core.NewCaTDet(newOracle(), newOracle(), DefaultConfig())
+		}
+		run := sim.Run(sys, ds)
+		ev := sim.Evaluate(ds, run, dataset.Hard, 0.8)
+		if math.Abs(ev.MAP-1) > 1e-6 {
+			t.Fatalf("%s oracle mAP = %v, want 1", kind, ev.MAP)
+		}
+		if ev.MeanDelay > 1e-9 {
+			t.Fatalf("%s oracle delay = %v, want 0", kind, ev.MeanDelay)
+		}
+	}
+}
+
+func TestFacadeDatasetRoundTrip(t *testing.T) {
+	ds := Generate(MiniKITTIPreset(), 3)
+	path := t.TempDir() + "/d.json.gz"
+	if err := ds.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadDataset(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumObjects() != ds.NumObjects() || got.NumFrames() != ds.NumFrames() {
+		t.Fatal("round trip mismatch")
+	}
+	// Running a system on the loaded dataset must give identical
+	// results (determinism keys on sequence IDs and frame indexes).
+	spec := SystemSpec{Kind: CaTDet, Proposal: "resnet10b", Refinement: "resnet50", Cfg: DefaultConfig()}
+	a := Run(MustSystem(spec, ds.Classes), ds)
+	b := Run(MustSystem(spec, got.Classes), got)
+	if a.AvgGops() != b.AvgGops() {
+		t.Fatal("loaded dataset produced different results")
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations are slow")
+	}
+	p := MiniKITTIPreset()
+	ds := Generate(p, 1)
+	rows := sim.Ablations(ds)
+	if len(rows) != 5 {
+		t.Fatalf("ablation rows = %d", len(rows))
+	}
+	base := rows[0]
+	for _, r := range rows {
+		if r.MAPHard <= 0.4 || r.MAPHard > 1 {
+			t.Errorf("%s: implausible mAP %v", r.Variant, r.MAPHard)
+		}
+	}
+	// Removing the prediction filters must not reduce cost.
+	if rows[3].Gops < base.Gops-0.5 {
+		t.Errorf("no-filter variant cheaper (%v) than baseline (%v)", rows[3].Gops, base.Gops)
+	}
+}

@@ -1,0 +1,150 @@
+// Command experiments regenerates every table and figure of the CaTDet
+// paper's evaluation section on the synthetic worlds.
+//
+// Usage:
+//
+//	experiments                 # everything (takes a few minutes)
+//	experiments -table 2        # one table (1-8)
+//	experiments -figure 6       # one figure (6 or 7)
+//	experiments -seqs 8         # reduced dataset for a quick look
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/sim"
+	"repro/internal/video"
+)
+
+func main() {
+	table := flag.Int("table", 0, "regenerate one table (1-8); 0 = all")
+	figure := flag.Int("figure", 0, "regenerate one figure (6 or 7); 0 = all")
+	seqs := flag.Int("seqs", 0, "override the number of KITTI sequences (0 = full 21)")
+	citySeqs := flag.Int("city-seqs", 0, "override the number of CityPersons snippets (0 = full preset)")
+	seed := flag.Int64("seed", 1, "world seed")
+	ablations := flag.Bool("ablations", false, "also run the tracker design ablations")
+	jsonOut := flag.String("json", "", "write the full machine-readable report (all tables and figures) to this path and exit")
+	flag.Parse()
+
+	kittiPreset := video.KITTIPreset()
+	if *seqs > 0 {
+		kittiPreset.NumSequences = *seqs
+	}
+	cityPreset := video.CityPersonsPreset()
+	if *citySeqs > 0 {
+		cityPreset.NumSequences = *citySeqs
+	}
+
+	var kitti, city *dataset.Dataset
+	needKITTI := func() *dataset.Dataset {
+		if kitti == nil {
+			kitti = video.Generate(kittiPreset, *seed)
+			fmt.Fprintf(os.Stderr, "generated %s: %d frames, %d objects\n",
+				kitti.Name, kitti.NumFrames(), kitti.NumObjects())
+		}
+		return kitti
+	}
+	needCity := func() *dataset.Dataset {
+		if city == nil {
+			city = video.Generate(cityPreset, *seed)
+			fmt.Fprintf(os.Stderr, "generated %s: %d frames (%d labeled), %d objects\n",
+				city.Name, city.NumFrames(), city.NumLabeledFrames(), city.NumObjects())
+		}
+		return city
+	}
+
+	if *jsonOut != "" {
+		rep := sim.RunAll(needKITTI(), needCity(), *seed)
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := rep.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		if violations := rep.ShapeCheck(); len(violations) > 0 {
+			fmt.Fprintln(os.Stderr, "shape check violations:")
+			for _, v := range violations {
+				fmt.Fprintln(os.Stderr, " -", v)
+			}
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s; all shape checks passed\n", *jsonOut)
+		return
+	}
+
+	all := *table == 0 && *figure == 0
+	want := func(t int) bool { return all || *table == t }
+	wantFig := func(f int) bool { return all || *figure == f }
+
+	section := func(title string, f func()) {
+		start := time.Now()
+		fmt.Printf("=== %s ===\n", title)
+		f()
+		fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
+	}
+
+	if want(1) {
+		section("Table 1: proposal-net specs and full-frame ops (KITTI, 300 proposals)", func() {
+			sim.WriteTable1(os.Stdout, sim.Table1())
+		})
+	}
+	if want(2) {
+		section("Table 2: KITTI main results", func() {
+			sim.WriteTable2(os.Stdout, sim.Table2(needKITTI()))
+		})
+	}
+	if want(3) {
+		section("Table 3: operation break-down (Gops)", func() {
+			sim.WriteTable3(os.Stdout, sim.Table3(needKITTI()))
+		})
+	}
+	if want(4) {
+		section("Table 4: proposal-network study (KITTI Hard, refinement Res50)", func() {
+			sim.WriteStudy(os.Stdout, sim.Table4(needKITTI()))
+		})
+	}
+	if want(5) {
+		section("Table 5: refinement-network study (KITTI Hard, proposal Res10b)", func() {
+			sim.WriteStudy(os.Stdout, sim.Table5(needKITTI()))
+		})
+	}
+	if want(6) {
+		section("Table 6: CityPersons results", func() {
+			sim.WriteTable6(os.Stdout, sim.Table6(needCity()))
+		})
+	}
+	if want(7) {
+		section("Table 7: estimated GPU-platform timing (Appendix I model)", func() {
+			sim.WriteTable7(os.Stdout, sim.Table7(needKITTI()))
+		})
+	}
+	if want(8) {
+		section("Table 8: RetinaNet-based CaTDet (KITTI Moderate, Appendix II)", func() {
+			sim.WriteStudy(os.Stdout, sim.Table8(needKITTI()))
+		})
+	}
+	if wantFig(6) {
+		section("Figure 6: mAP and mD@0.8 vs proposal C-thresh, with/without tracker", func() {
+			sim.WriteFigure6(os.Stdout, sim.Figure6(needKITTI(), nil))
+		})
+	}
+	if wantFig(7) {
+		section("Figure 7: recall & delay vs precision, per class", func() {
+			ds := needKITTI()
+			sim.WriteFigure7(os.Stdout, sim.Figure7(ds), ds.Classes)
+		})
+	}
+	if *ablations {
+		section("Ablations: tracker design choices (not in the paper's tables)", func() {
+			sim.WriteAblations(os.Stdout, sim.Ablations(needKITTI()))
+		})
+	}
+}

@@ -1,0 +1,39 @@
+// Quickstart: build a CaTDet system, run it on a small synthetic world
+// and compare it with the single-model baseline.
+package main
+
+import (
+	"fmt"
+
+	catdet "repro"
+)
+
+func main() {
+	// A small KITTI-like world: 3 sequences, 120 frames each.
+	ds := catdet.Generate(catdet.MiniKITTIPreset(), 42)
+	fmt.Printf("world: %d frames, %d labeled objects\n\n", ds.NumFrames(), ds.NumObjects())
+
+	// The single-model baseline: ResNet-50 Faster R-CNN on every frame.
+	baseline := catdet.MustSystem(catdet.SystemSpec{
+		Kind: catdet.Single, Refinement: "resnet50",
+	}, ds.Classes)
+
+	// CaTDet: a cheap ResNet-10a proposal network scans every frame, a
+	// tracker predicts where known objects will be, and the expensive
+	// ResNet-50 refinement network only looks at those regions.
+	system := catdet.MustSystem(catdet.SystemSpec{
+		Kind:       catdet.CaTDet,
+		Proposal:   "resnet10a",
+		Refinement: "resnet50",
+		Cfg:        catdet.DefaultConfig(),
+	}, ds.Classes)
+
+	for _, sys := range []catdet.System{baseline, system} {
+		run := catdet.Run(sys, ds)
+		ev := catdet.Evaluate(ds, run, catdet.Hard, 0.8)
+		fmt.Printf("%-35s %6.1f Gops/frame   mAP %.3f   mD@0.8 %.1f frames\n",
+			sys.Name(), run.AvgGops(), ev.MAP, ev.MeanDelay)
+	}
+
+	fmt.Println("\nCaTDet should match the baseline's accuracy at a fraction of the cost.")
+}

@@ -1,0 +1,40 @@
+// One-shot detector scenario (paper Appendix II): CaTDet is a general
+// framework, not a Faster R-CNN trick. Here the refinement network is a
+// RetinaNet — a fully convolutional one-shot detector whose entire
+// workload (backbone, FPN and subnets) scales with the selected-region
+// area instead of a per-RoI head.
+package main
+
+import (
+	"fmt"
+
+	catdet "repro"
+)
+
+func main() {
+	preset := catdet.KITTIPreset()
+	preset.NumSequences = 6
+	ds := catdet.Generate(preset, 1)
+
+	single := catdet.MustSystem(catdet.SystemSpec{
+		Kind: catdet.Single, Refinement: "retinanet-res50",
+	}, ds.Classes)
+	cat := catdet.MustSystem(catdet.SystemSpec{
+		Kind:       catdet.CaTDet,
+		Proposal:   "resnet10a",
+		Refinement: "retinanet-res50",
+		Cfg:        catdet.DefaultConfig(),
+	}, ds.Classes)
+
+	fmt.Println("RetinaNet as the refinement network (KITTI Moderate, as in Table 8):")
+	for _, sys := range []catdet.System{single, cat} {
+		run := catdet.Run(sys, ds)
+		ev := catdet.Evaluate(ds, run, catdet.Moderate, 0.8)
+		fmt.Printf("%-45s %6.1f Gops/frame   mAP %.3f   mD@0.8 %.1f\n",
+			sys.Name(), run.AvgGops(), ev.MAP, ev.MeanDelay)
+	}
+
+	fmt.Println("\nwith selected regions the one-shot detector's cost drops with covered")
+	fmt.Println("area alone — no proposal-count term — and accuracy holds, matching the")
+	fmt.Println("paper's conclusion that CaTDet generalizes across detector families.")
+}

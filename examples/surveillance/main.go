@@ -1,0 +1,38 @@
+// Surveillance scenario: high-resolution pedestrian detection on a
+// CityPersons-like world with sparse annotation (one labeled frame per
+// 30-frame snippet). Shows why the tracker matters most here: small,
+// frequently occluded pedestrians are exactly what a plain cascade's
+// proposal network keeps missing.
+package main
+
+import (
+	"fmt"
+
+	catdet "repro"
+)
+
+func main() {
+	preset := catdet.CityPersonsPreset()
+	preset.NumSequences = 40 // subset for a quick run
+	ds := catdet.Generate(preset, 1)
+	fmt.Printf("surveillance world: %d snippets at %dx%d, %d labeled frames\n\n",
+		len(ds.Sequences), preset.Width, preset.Height, ds.NumLabeledFrames())
+
+	specs := []catdet.SystemSpec{
+		{Kind: catdet.Single, Refinement: "resnet50"},
+		{Kind: catdet.Cascaded, Proposal: "resnet10b", Refinement: "resnet50", Cfg: catdet.DefaultConfig()},
+		{Kind: catdet.CaTDet, Proposal: "resnet10b", Refinement: "resnet50", Cfg: catdet.DefaultConfig()},
+	}
+	fmt.Println("system                                    Gops/frame   person AP")
+	for _, spec := range specs {
+		sys := catdet.MustSystem(spec, ds.Classes)
+		run := catdet.Run(sys, ds)
+		ev := catdet.Evaluate(ds, run, catdet.Hard, 0.8)
+		fmt.Printf("%-42s %8.1f   %.3f\n", sys.Name(), run.AvgGops(), ev.MAP)
+	}
+
+	fmt.Println("\nthe plain cascade loses several points of AP on this workload —")
+	fmt.Println("occluded pedestrians drop out of the proposal stream and stay lost.")
+	fmt.Println("CaTDet's tracker keeps feeding their regions to the refinement net,")
+	fmt.Println("recovering most of the gap at ~13x fewer operations than the baseline.")
+}

@@ -1,0 +1,317 @@
+// Package core implements the paper's detection systems (Figure 1):
+// the single-model detector, the two-stage cascaded detector, and
+// CaTDet — the cascade with a tracker feeding temporal regions of
+// interest back into the refinement network. It also implements the
+// operation accounting of Tables 2-3, including the overlapping
+// from-tracker / from-proposal-net breakdown of the refinement work.
+package core
+
+import (
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/detector"
+	"repro/internal/geom"
+	"repro/internal/tracker"
+)
+
+// Margin is the pixel margin appended around every proposal before
+// feature extraction, "to maintain enough information for the ConvNet"
+// (Section 4.3).
+const Margin = 30
+
+// OpsBreakdown is the per-frame arithmetic-operation accounting of
+// Table 3. RefinementFromTracker and RefinementFromProposal measure the
+// refinement cost attributable to each proposal source alone; because
+// the sources overlap spatially, they sum to more than Refinement.
+type OpsBreakdown struct {
+	Proposal               float64
+	Refinement             float64
+	RefinementFromTracker  float64
+	RefinementFromProposal float64
+}
+
+// Total returns the system's actual operation count for the frame.
+func (b OpsBreakdown) Total() float64 { return b.Proposal + b.Refinement }
+
+// Add accumulates another frame's breakdown.
+func (b *OpsBreakdown) Add(o OpsBreakdown) {
+	b.Proposal += o.Proposal
+	b.Refinement += o.Refinement
+	b.RefinementFromTracker += o.RefinementFromTracker
+	b.RefinementFromProposal += o.RefinementFromProposal
+}
+
+// Scale divides the accumulated breakdown by n (e.g. to report per-frame
+// averages).
+func (b OpsBreakdown) Scale(n float64) OpsBreakdown {
+	if n == 0 {
+		return b
+	}
+	return OpsBreakdown{
+		Proposal:               b.Proposal / n,
+		Refinement:             b.Refinement / n,
+		RefinementFromTracker:  b.RefinementFromTracker / n,
+		RefinementFromProposal: b.RefinementFromProposal / n,
+	}
+}
+
+// FrameOutput is one frame's detections plus cost accounting.
+type FrameOutput struct {
+	Detections []geom.Scored
+	Ops        OpsBreakdown
+	// NumProposals is the number of per-RoI head invocations charged to
+	// the refinement network (0 for the single-model system).
+	NumProposals int
+	// Coverage is the fraction of the frame processed by the refinement
+	// network (1 for the single-model system).
+	Coverage float64
+	// Regions are the margin-expanded boxes handed to the refinement
+	// network (nil for the single-model system). The GPU timing model
+	// merges these into rectangular launches.
+	Regions []geom.Box
+}
+
+// System is a causal video detector: Reset begins a sequence, Step
+// consumes frames strictly in order.
+type System interface {
+	Name() string
+	Reset(seq *dataset.Sequence)
+	Step(f detector.Frame) FrameOutput
+}
+
+// scoredOf strips simulation metadata from detector output.
+func scoredOf(dets []detector.Detection) []geom.Scored {
+	out := make([]geom.Scored, len(dets))
+	for i, d := range dets {
+		out[i] = d.Scored
+	}
+	return out
+}
+
+// SingleModel runs one detector on every full frame (Figure 1a).
+type SingleModel struct {
+	Detector *detector.Detector
+	name     string
+}
+
+// NewSingleModel wraps a detector as a System.
+func NewSingleModel(d *detector.Detector) *SingleModel {
+	family := "Faster R-CNN"
+	if strings.HasPrefix(d.Profile.Name, "retinanet") {
+		family = "RetinaNet"
+	}
+	return &SingleModel{Detector: d, name: d.Profile.Name + ", " + family}
+}
+
+// Name implements System.
+func (s *SingleModel) Name() string { return s.name }
+
+// Reset implements System; the single-model detector is stateless.
+func (s *SingleModel) Reset(*dataset.Sequence) {}
+
+// Step implements System.
+func (s *SingleModel) Step(f detector.Frame) FrameOutput {
+	r := s.Detector.DetectFull(f)
+	return FrameOutput{
+		Detections: scoredOf(r.Detections),
+		Ops:        OpsBreakdown{Proposal: 0, Refinement: r.Ops},
+		Coverage:   1,
+	}
+}
+
+// Config holds the cascade hyper-parameters shared by Cascaded and
+// CaTDet.
+type Config struct {
+	// CThresh is the proposal network's output confidence threshold;
+	// proposals below it are not forwarded (Section 4.3, Figure 6).
+	CThresh float64
+	// TrackThresh is the confidence threshold for the tracker's input:
+	// only refinement detections at or above it update the tracker.
+	TrackThresh float64
+	// Margin is the pixel margin around proposals; 0 means the paper's
+	// default of 30.
+	Margin float64
+	// MaskCell overrides the region-mask granularity in pixels (0 =
+	// geom.DefaultCell).
+	MaskCell float64
+	// Tracker configures the CaTDet tracker; zero value means
+	// tracker.DefaultConfig().
+	Tracker *tracker.Config
+}
+
+// DefaultConfig returns the settings used for the paper's main tables.
+func DefaultConfig() Config {
+	return Config{CThresh: 0.1, TrackThresh: 0.25, Margin: Margin}
+}
+
+func (c Config) margin() float64 {
+	if c.Margin <= 0 {
+		return Margin
+	}
+	return c.Margin
+}
+
+// Cascaded is the two-model cascade without a tracker (Figure 1b).
+type Cascaded struct {
+	Proposal   *detector.Detector
+	Refinement *detector.Detector
+	Cfg        Config
+	name       string
+
+	w, h int
+}
+
+// NewCascaded builds the cascade system.
+func NewCascaded(proposal, refinement *detector.Detector, cfg Config) *Cascaded {
+	return &Cascaded{
+		Proposal:   proposal,
+		Refinement: refinement,
+		Cfg:        cfg,
+		name:       proposal.Profile.Name + ", " + refinement.Profile.Name + ", Cascaded",
+	}
+}
+
+// Name implements System.
+func (s *Cascaded) Name() string { return s.name }
+
+// Reset implements System.
+func (s *Cascaded) Reset(seq *dataset.Sequence) { s.w, s.h = seq.Width, seq.Height }
+
+// Step implements System.
+func (s *Cascaded) Step(f detector.Frame) FrameOutput {
+	prop := s.Proposal.DetectFull(f)
+	proposals := geom.FilterScore(scoredOf(prop.Detections), s.Cfg.CThresh)
+
+	mask := geom.NewMask(float64(f.Width), float64(f.Height), s.Cfg.MaskCell)
+	frame := geom.NewBox(0, 0, float64(f.Width), float64(f.Height))
+	regions := make([]geom.Box, 0, len(proposals))
+	for _, p := range proposals {
+		r := p.Box.Expand(s.Cfg.margin()).Intersect(frame)
+		mask.AddBox(r)
+		regions = append(regions, r)
+	}
+	ref := s.Refinement.DetectRegions(f, mask, len(proposals))
+	return FrameOutput{
+		Detections: scoredOf(ref.Detections),
+		Ops: OpsBreakdown{
+			Proposal:               prop.Ops,
+			Refinement:             ref.Ops,
+			RefinementFromProposal: ref.Ops,
+		},
+		NumProposals: len(proposals),
+		Coverage:     ref.Coverage,
+		Regions:      regions,
+	}
+}
+
+// CaTDet is the full system of Figure 1c: the cascade plus a tracker
+// that predicts regions of interest from historic detections.
+type CaTDet struct {
+	Proposal   *detector.Detector
+	Refinement *detector.Detector
+	Cfg        Config
+	name       string
+
+	trk *tracker.Tracker
+	w   int
+	h   int
+}
+
+// NewCaTDet builds the full CaTDet system.
+func NewCaTDet(proposal, refinement *detector.Detector, cfg Config) *CaTDet {
+	return &CaTDet{
+		Proposal:   proposal,
+		Refinement: refinement,
+		Cfg:        cfg,
+		name:       proposal.Profile.Name + ", " + refinement.Profile.Name + ", CaTDet",
+	}
+}
+
+// Name implements System.
+func (s *CaTDet) Name() string { return s.name }
+
+// Reset implements System: tracker state never crosses sequences.
+func (s *CaTDet) Reset(seq *dataset.Sequence) {
+	s.w, s.h = seq.Width, seq.Height
+	cfg := tracker.DefaultConfig()
+	if s.Cfg.Tracker != nil {
+		cfg = *s.Cfg.Tracker
+	}
+	s.trk = tracker.New(cfg, float64(seq.Width), float64(seq.Height))
+}
+
+// Tracker exposes the live tracker (nil before Reset); tests and the
+// GPU-timing model read it.
+func (s *CaTDet) Tracker() *tracker.Tracker { return s.trk }
+
+// Step implements System. The execution loop of Figure 2:
+//
+//  1. the tracker predicts current-frame locations of known objects;
+//  2. the proposal network scans the full frame for new candidates;
+//  3. the union of both, with margins, forms the refinement regions;
+//  4. the refinement network detects inside the regions only;
+//  5. its (confident) detections update the tracker for the next frame.
+func (s *CaTDet) Step(f detector.Frame) FrameOutput {
+	if s.trk == nil {
+		// Step before Reset: synthesize a tracker from frame dims.
+		s.Reset(&dataset.Sequence{Width: f.Width, Height: f.Height})
+	}
+	tracked := s.trk.Predict()
+
+	prop := s.Proposal.DetectFull(f)
+	proposals := geom.FilterScore(scoredOf(prop.Detections), s.Cfg.CThresh)
+
+	margin := s.Cfg.margin()
+	mask := geom.NewMask(float64(f.Width), float64(f.Height), s.Cfg.MaskCell)
+	frame := geom.NewBox(0, 0, float64(f.Width), float64(f.Height))
+	regions := make([]geom.Box, 0, len(proposals)+len(tracked))
+	for _, p := range proposals {
+		r := p.Box.Expand(margin).Intersect(frame)
+		mask.AddBox(r)
+		regions = append(regions, r)
+	}
+	for _, p := range tracked {
+		r := p.Box.Expand(margin).Intersect(frame)
+		mask.AddBox(r)
+		regions = append(regions, r)
+	}
+	nProps := len(proposals) + len(tracked)
+	ref := s.Refinement.DetectRegions(f, mask, nProps)
+	dets := scoredOf(ref.Detections)
+
+	// Attribution accounting (Table 3): cost if each source had been the
+	// only supplier of regions. Overlap makes these sum to more than the
+	// actual refinement cost.
+	fromTracker := s.sourceOps(f, tracked, margin)
+	fromProposal := s.sourceOps(f, proposals, margin)
+
+	// Temporal feedback: confident detections update the tracker.
+	s.trk.Observe(geom.FilterScore(dets, s.Cfg.TrackThresh))
+
+	return FrameOutput{
+		Detections: dets,
+		Ops: OpsBreakdown{
+			Proposal:               prop.Ops,
+			Refinement:             ref.Ops,
+			RefinementFromTracker:  fromTracker,
+			RefinementFromProposal: fromProposal,
+		},
+		NumProposals: nProps,
+		Coverage:     ref.Coverage,
+		Regions:      regions,
+	}
+}
+
+// sourceOps prices the refinement work one proposal source would cause
+// alone.
+func (s *CaTDet) sourceOps(f detector.Frame, boxes []geom.Scored, margin float64) float64 {
+	if len(boxes) == 0 {
+		return 0
+	}
+	m := geom.NewMask(float64(f.Width), float64(f.Height), s.Cfg.MaskCell)
+	for _, b := range boxes {
+		m.AddBox(b.Box.Expand(margin))
+	}
+	return s.Refinement.Cost.RegionOps(f.Width, f.Height, m.CoveredFraction(), len(boxes))
+}

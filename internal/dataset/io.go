@@ -1,0 +1,72 @@
+package dataset
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Save writes the dataset as JSON to w.
+func (d *Dataset) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(d); err != nil {
+		return fmt.Errorf("dataset: encode: %w", err)
+	}
+	return nil
+}
+
+// Load reads a dataset from JSON and validates it.
+func Load(r io.Reader) (*Dataset, error) {
+	var d Dataset
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&d); err != nil {
+		return nil, fmt.Errorf("dataset: decode: %w", err)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}
+
+// SaveFile writes the dataset to a file; paths ending in .gz are
+// gzip-compressed.
+func (d *Dataset) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	defer f.Close()
+	var w io.Writer = f
+	if strings.HasSuffix(path, ".gz") {
+		gz := gzip.NewWriter(f)
+		defer gz.Close()
+		w = gz
+	}
+	if err := d.Save(w); err != nil {
+		return err
+	}
+	return nil
+}
+
+// LoadFile reads a dataset from a file; paths ending in .gz are
+// transparently decompressed.
+func LoadFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	defer f.Close()
+	var r io.Reader = f
+	if strings.HasSuffix(path, ".gz") {
+		gz, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: %w", err)
+		}
+		defer gz.Close()
+		r = gz
+	}
+	return Load(r)
+}

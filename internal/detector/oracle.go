@@ -1,0 +1,41 @@
+package detector
+
+import "repro/internal/ops"
+
+// OracleProfile is a perfect detector: every ground-truth object is
+// detected with confidence 1, exact localization and no false
+// positives. It is useful for testing pipelines (a system fed the
+// oracle must score mAP 1.0 and delay 0) and as an upper bound in
+// experiments.
+func OracleProfile() Profile {
+	return Profile{
+		Name:        "oracle",
+		Midpoint:    0.5,
+		Slope:       0.05, // the recall sigmoid saturates for any real object
+		MaxRecall:   1,
+		ConfGain:    100, // confidence saturates at 1
+		ConfNoise:   0,
+		FPRate:      0,
+		LocNoise:    0,
+		RegionBoost: 0,
+	}
+}
+
+// NewOracle builds a perfect detector carrying the given cost model
+// (the oracle still "costs" whatever network it stands in for; pass a
+// zero-cost model to make it free).
+func NewOracle(cost ops.CostModel) *Detector {
+	return &Detector{Profile: OracleProfile(), Cost: cost}
+}
+
+// FreeCost is an ops.CostModel that charges nothing; useful with
+// NewOracle for pure-algorithm tests.
+type FreeCost struct{}
+
+// FullFrameOps implements ops.CostModel.
+func (FreeCost) FullFrameOps(w, h int) float64 { return 0 }
+
+// RegionOps implements ops.CostModel.
+func (FreeCost) RegionOps(w, h int, coveredFrac float64, nProposals int) float64 { return 0 }
+
+var _ ops.CostModel = FreeCost{}

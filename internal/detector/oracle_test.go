@@ -1,0 +1,71 @@
+package detector
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/video"
+)
+
+func TestOracleDetectsEverythingExactly(t *testing.T) {
+	d := NewOracle(FreeCost{})
+	p := video.MiniKITTIPreset()
+	ds := video.Generate(p, 9)
+	seq := &ds.Sequences[0]
+	for fi := range seq.Frames {
+		f := Frame{SeqID: seq.ID, Index: fi, Width: seq.Width, Height: seq.Height,
+			Objects: seq.Frames[fi].Objects}
+		r := d.DetectFull(f)
+		if r.Ops != 0 {
+			t.Fatal("FreeCost charged ops")
+		}
+		// Every NMS-surviving ground-truth object must be matched
+		// exactly at confidence ~1, with no false positives. NMS can
+		// merge heavily-overlapping ground truth, so compare per
+		// detection, not per object.
+		if len(r.Detections) > len(seq.Frames[fi].Objects) {
+			t.Fatalf("frame %d: %d detections for %d objects", fi, len(r.Detections), len(seq.Frames[fi].Objects))
+		}
+		for _, det := range r.Detections {
+			if det.TrackID < 0 {
+				t.Fatalf("frame %d: oracle produced a false positive", fi)
+			}
+			if det.Score < 0.99 {
+				t.Fatalf("frame %d: oracle confidence %v", fi, det.Score)
+			}
+			found := false
+			for _, o := range seq.Frames[fi].Objects {
+				if o.TrackID == det.TrackID && geom.IoU(o.Box, det.Box) > 0.999 {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("frame %d: oracle box does not match ground truth", fi)
+			}
+		}
+	}
+}
+
+func TestOracleProfileValidates(t *testing.T) {
+	if err := OracleProfile().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOracleRespectsRegions(t *testing.T) {
+	d := NewOracle(FreeCost{})
+	obj := dataset.Object{TrackID: 1, Class: dataset.Car, Box: geom.NewBox(500, 150, 600, 220)}
+	f := Frame{SeqID: "s", Index: 0, Width: 1242, Height: 375, Objects: []dataset.Object{obj}}
+	miss := geom.NewMask(1242, 375, 8)
+	miss.AddBox(geom.NewBox(0, 0, 100, 100))
+	if r := d.DetectRegions(f, miss, 0); len(r.Detections) != 0 {
+		t.Fatal("oracle detected outside its regions")
+	}
+	cover := geom.NewMask(1242, 375, 8)
+	cover.AddBox(obj.Box.Expand(30))
+	if r := d.DetectRegions(f, cover, 1); len(r.Detections) != 1 {
+		t.Fatal("oracle missed a covered object")
+	}
+}

@@ -1,0 +1,154 @@
+package geom
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Mask is a coarse occupancy grid over an image, used to represent the
+// (possibly non-rectangular) union of regions of interest handed to the
+// refinement network. The paper computes the real number of operations
+// needed to extract features over the union of proposal regions, which
+// requires area accounting that does not double-count overlapping
+// proposals; a grid at feature-map granularity does exactly that.
+type Mask struct {
+	w, h   float64 // frame size in pixels
+	cell   float64 // cell edge length in pixels
+	nx, ny int     // grid dimensions
+	bits   []uint64
+}
+
+// DefaultCell is the default mask granularity in pixels. It matches the
+// effective stride of the conv4 feature map the FasterR-CNN head reads.
+const DefaultCell = 8.0
+
+// NewMask returns an empty mask over a w-by-h pixel frame with the given
+// cell size. Cell sizes <= 0 fall back to DefaultCell.
+func NewMask(w, h, cell float64) *Mask {
+	if cell <= 0 {
+		cell = DefaultCell
+	}
+	nx := int(math.Ceil(w / cell))
+	ny := int(math.Ceil(h / cell))
+	if nx < 1 {
+		nx = 1
+	}
+	if ny < 1 {
+		ny = 1
+	}
+	words := (nx*ny + 63) / 64
+	return &Mask{w: w, h: h, cell: cell, nx: nx, ny: ny, bits: make([]uint64, words)}
+}
+
+// FrameWidth returns the pixel width of the underlying frame.
+func (m *Mask) FrameWidth() float64 { return m.w }
+
+// FrameHeight returns the pixel height of the underlying frame.
+func (m *Mask) FrameHeight() float64 { return m.h }
+
+func (m *Mask) index(cx, cy int) (word int, bit uint) {
+	i := cy*m.nx + cx
+	return i / 64, uint(i % 64)
+}
+
+func (m *Mask) set(cx, cy int) {
+	w, b := m.index(cx, cy)
+	m.bits[w] |= 1 << b
+}
+
+func (m *Mask) get(cx, cy int) bool {
+	w, b := m.index(cx, cy)
+	return m.bits[w]&(1<<b) != 0
+}
+
+// cellRange converts a pixel box to the clipped inclusive cell range it
+// touches. ok is false when the box misses the frame entirely.
+func (m *Mask) cellRange(b Box) (x0, y0, x1, y1 int, ok bool) {
+	b = b.Clip(m.w, m.h)
+	if b.Empty() {
+		return 0, 0, 0, 0, false
+	}
+	x0 = int(b.X1 / m.cell)
+	y0 = int(b.Y1 / m.cell)
+	x1 = int(math.Ceil(b.X2/m.cell)) - 1
+	y1 = int(math.Ceil(b.Y2/m.cell)) - 1
+	if x1 >= m.nx {
+		x1 = m.nx - 1
+	}
+	if y1 >= m.ny {
+		y1 = m.ny - 1
+	}
+	return x0, y0, x1, y1, true
+}
+
+// AddBox marks every cell touched by the box (clipped to the frame).
+func (m *Mask) AddBox(b Box) {
+	x0, y0, x1, y1, ok := m.cellRange(b)
+	if !ok {
+		return
+	}
+	for cy := y0; cy <= y1; cy++ {
+		for cx := x0; cx <= x1; cx++ {
+			m.set(cx, cy)
+		}
+	}
+}
+
+// AddBoxes marks all boxes, each expanded by margin pixels per side.
+func (m *Mask) AddBoxes(boxes []Box, margin float64) {
+	for _, b := range boxes {
+		m.AddBox(b.Expand(margin))
+	}
+}
+
+// CoveredCells returns the number of marked cells.
+func (m *Mask) CoveredCells() int {
+	n := 0
+	for _, w := range m.bits {
+		n += popcount(w)
+	}
+	return n
+}
+
+// CoveredFraction returns the fraction of the frame area that is marked,
+// in [0, 1]. This is the scale factor applied to the feature-extractor
+// operation count under selected-region inference.
+func (m *Mask) CoveredFraction() float64 {
+	total := m.nx * m.ny
+	if total == 0 {
+		return 0
+	}
+	return float64(m.CoveredCells()) / float64(total)
+}
+
+// BoxCoverage returns the fraction of the box's cells that are marked, in
+// [0, 1]. An object whose box coverage is low cannot be detected by a
+// detector restricted to this mask.
+func (m *Mask) BoxCoverage(b Box) float64 {
+	x0, y0, x1, y1, ok := m.cellRange(b)
+	if !ok {
+		return 0
+	}
+	covered, total := 0, 0
+	for cy := y0; cy <= y1; cy++ {
+		for cx := x0; cx <= x1; cx++ {
+			total++
+			if m.get(cx, cy) {
+				covered++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(covered) / float64(total)
+}
+
+// Reset clears all marked cells, retaining the allocation.
+func (m *Mask) Reset() {
+	for i := range m.bits {
+		m.bits[i] = 0
+	}
+}
+
+func popcount(x uint64) int { return bits.OnesCount64(x) }

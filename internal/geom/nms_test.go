@@ -1,0 +1,87 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNMSSuppressesOverlaps(t *testing.T) {
+	dets := []Scored{
+		{Box: NewBox(0, 0, 10, 10), Score: 0.9, Class: 0},
+		{Box: NewBox(1, 1, 11, 11), Score: 0.8, Class: 0}, // overlaps first
+		{Box: NewBox(50, 50, 60, 60), Score: 0.7, Class: 0},
+	}
+	out := NMS(dets, 0.5)
+	if len(out) != 2 {
+		t.Fatalf("kept %d, want 2: %v", len(out), out)
+	}
+	if out[0].Score != 0.9 || out[1].Score != 0.7 {
+		t.Fatalf("wrong survivors: %v", out)
+	}
+}
+
+func TestNMSKeepsDifferentClasses(t *testing.T) {
+	dets := []Scored{
+		{Box: NewBox(0, 0, 10, 10), Score: 0.9, Class: 0},
+		{Box: NewBox(0, 0, 10, 10), Score: 0.8, Class: 1},
+	}
+	if out := NMS(dets, 0.5); len(out) != 2 {
+		t.Fatalf("class-aware NMS suppressed across classes: %v", out)
+	}
+	if out := NMSClassAgnostic(dets, 0.5); len(out) != 1 {
+		t.Fatalf("class-agnostic NMS kept both: %v", out)
+	}
+}
+
+func TestNMSEmpty(t *testing.T) {
+	if out := NMS(nil, 0.5); out != nil {
+		t.Fatalf("NMS(nil) = %v", out)
+	}
+}
+
+func TestNMSOutputSortedByScore(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var dets []Scored
+	for i := 0; i < 100; i++ {
+		x := rng.Float64() * 500
+		y := rng.Float64() * 300
+		dets = append(dets, Scored{
+			Box:   NewBox(x, y, x+20+rng.Float64()*30, y+20+rng.Float64()*30),
+			Score: rng.Float64(),
+			Class: rng.Intn(2),
+		})
+	}
+	out := NMS(dets, 0.4)
+	for i := 1; i < len(out); i++ {
+		if out[i].Score > out[i-1].Score {
+			t.Fatalf("output not sorted at %d", i)
+		}
+	}
+	// No two kept boxes of the same class may exceed the threshold.
+	for i := range out {
+		for j := i + 1; j < len(out); j++ {
+			if out[i].Class == out[j].Class && IoU(out[i].Box, out[j].Box) > 0.4 {
+				t.Fatalf("kept overlapping pair %d,%d IoU=%v", i, j, IoU(out[i].Box, out[j].Box))
+			}
+		}
+	}
+}
+
+func TestFilterScore(t *testing.T) {
+	dets := []Scored{{Score: 0.1}, {Score: 0.5}, {Score: 0.9}}
+	out := FilterScore(dets, 0.5)
+	if len(out) != 2 || out[0].Score != 0.5 {
+		t.Fatalf("FilterScore = %v", out)
+	}
+}
+
+func TestSortByScoreDoesNotMutate(t *testing.T) {
+	dets := []Scored{{Score: 0.1}, {Score: 0.9}}
+	out := SortByScore(dets)
+	if dets[0].Score != 0.1 {
+		t.Fatal("input mutated")
+	}
+	if out[0].Score != 0.9 {
+		t.Fatalf("not sorted: %v", out)
+	}
+}

@@ -1,0 +1,114 @@
+package gpumodel
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/ops"
+)
+
+func TestLaunchTimeLinear(t *testing.T) {
+	m := Model{Alpha: 1e-12, LaunchOverhead: 1e-3}
+	if got := m.LaunchTime(0); got != 1e-3 {
+		t.Fatalf("zero-work launch = %v, want overhead only", got)
+	}
+	if got := m.LaunchTime(1e12); got != 1.001 {
+		t.Fatalf("launch = %v, want 1.001", got)
+	}
+}
+
+func TestSingleModelFrameMatchesTable7Anchor(t *testing.T) {
+	m := Default()
+	cost := ops.MustCostModel("resnet50")
+	ft := m.SingleModelFrame(cost.FullFrameOps(ops.KITTIWidth, ops.KITTIHeight))
+	// Table 7: GPU-only 0.159 s, Total 0.193 s. Allow 10% slack; these
+	// are the calibration anchors.
+	if ft.GPU < 0.14 || ft.GPU > 0.18 {
+		t.Fatalf("single-model GPU time = %.3f, want ~0.159", ft.GPU)
+	}
+	if ft.Total < 0.17 || ft.Total > 0.22 {
+		t.Fatalf("single-model total = %.3f, want ~0.193", ft.Total)
+	}
+}
+
+func TestMergeNearbyRegions(t *testing.T) {
+	m := Default()
+	cost := ops.MustCostModel("resnet50")
+	// Two adjacent small regions: merging saves a launch overhead at
+	// almost no extra area.
+	regions := []geom.Box{
+		geom.NewBox(100, 100, 200, 200),
+		geom.NewBox(210, 100, 310, 200),
+	}
+	merged := m.MergeRegions(regions, ops.KITTIWidth, ops.KITTIHeight, cost)
+	if len(merged) != 1 {
+		t.Fatalf("adjacent regions not merged: %v", merged)
+	}
+	// Two far-apart regions whose union would span most of the frame:
+	// merging costs more feature extraction than a launch overhead.
+	far := []geom.Box{
+		geom.NewBox(0, 0, 120, 120),
+		geom.NewBox(1100, 250, 1240, 370),
+	}
+	merged = m.MergeRegions(far, ops.KITTIWidth, ops.KITTIHeight, cost)
+	if len(merged) != 2 {
+		t.Fatalf("distant regions merged despite cost: %v", merged)
+	}
+}
+
+func TestCaTDetFrameFasterThanSingle(t *testing.T) {
+	m := Default()
+	refCost := ops.MustCostModel("resnet50")
+	propCost := ops.MustCostModel("resnet10a")
+	regions := []geom.Box{
+		geom.NewBox(100, 100, 260, 260),
+		geom.NewBox(400, 150, 560, 300),
+		geom.NewBox(800, 120, 980, 280),
+	}
+	ft := m.CaTDetFrame(propCost.FullFrameOps(ops.KITTIWidth, ops.KITTIHeight),
+		regions, ops.KITTIWidth, ops.KITTIHeight, refCost, 10)
+	single := m.SingleModelFrame(refCost.FullFrameOps(ops.KITTIWidth, ops.KITTIHeight))
+	if ft.GPU >= single.GPU/2 {
+		t.Fatalf("CaTDet GPU %.3f not well below single %.3f", ft.GPU, single.GPU)
+	}
+	if ft.Total >= single.Total {
+		t.Fatalf("CaTDet total %.3f not below single %.3f", ft.Total, single.Total)
+	}
+	if ft.Launches < 1 || ft.Launches > len(regions) {
+		t.Fatalf("launches = %d", ft.Launches)
+	}
+}
+
+func TestMergedWorkloadAtLeastUnmerged(t *testing.T) {
+	m := Default()
+	cost := ops.MustCostModel("resnet50")
+	regions := []geom.Box{
+		geom.NewBox(100, 100, 200, 200),
+		geom.NewBox(150, 150, 260, 260),
+		geom.NewBox(700, 100, 820, 220),
+	}
+	ft := m.CaTDetFrame(0, regions, ops.KITTIWidth, ops.KITTIHeight, cost, 0)
+	unmerged := 0.0
+	for _, r := range regions {
+		// Union area is smaller than the sum when boxes overlap, so use
+		// the union-area workload as the floor.
+		_ = r
+	}
+	unmerged = m.RegionWorkload(geom.NewBox(0, 0, 1, 1), ops.KITTIWidth, ops.KITTIHeight, cost, 0)
+	if ft.MergedWorkload < unmerged {
+		t.Fatalf("merged workload %.3e below any single region %.3e", ft.MergedWorkload, unmerged)
+	}
+}
+
+func TestRegionWorkloadClamps(t *testing.T) {
+	m := Default()
+	cost := ops.MustCostModel("resnet50")
+	full := m.RegionWorkload(geom.NewBox(0, 0, ops.KITTIWidth, ops.KITTIHeight), ops.KITTIWidth, ops.KITTIHeight, cost, 0)
+	over := m.RegionWorkload(geom.NewBox(-100, -100, 2*ops.KITTIWidth, 2*ops.KITTIHeight), ops.KITTIWidth, ops.KITTIHeight, cost, 0)
+	if over > full {
+		t.Fatalf("oversized region workload %v exceeds full-frame %v", over, full)
+	}
+	if m.RegionWorkload(geom.NewBox(0, 0, 10, 10), 0, 0, cost, 0) != 0 {
+		t.Fatal("degenerate frame should cost nothing")
+	}
+}

@@ -1,0 +1,159 @@
+// Package hungarian implements the Kuhn–Munkres assignment algorithm for
+// rectangular cost matrices. CaTDet's tracker uses it to associate
+// detections across adjacent frames with negative-IoU costs, exactly as
+// SORT does (Bewley et al., 2016).
+//
+// The solver runs in O(n^3) using the potential/augmenting-path
+// formulation, which is the standard production variant.
+package hungarian
+
+import "math"
+
+// Disallowed is a sentinel cost marking a pair that must never be matched.
+// It is large enough that any assignment avoiding it is preferred, but
+// finite so the potentials stay well-conditioned.
+const Disallowed = 1e30
+
+// Solve finds a minimum-cost assignment for the given cost matrix, where
+// cost[i][j] is the cost of assigning row i to column j. The matrix may be
+// rectangular; at most min(rows, cols) pairs are matched and every row and
+// column is used at most once.
+//
+// The returned slice has one entry per row: rowMatch[i] is the column
+// assigned to row i, or -1 if the row is unmatched (more rows than
+// columns) or its only available pairings were Disallowed.
+//
+// All rows of cost must have equal length; Solve panics otherwise, since
+// a ragged matrix is a programming error, not an input condition.
+func Solve(cost [][]float64) []int {
+	n := len(cost)
+	if n == 0 {
+		return nil
+	}
+	m := len(cost[0])
+	for i := range cost {
+		if len(cost[i]) != m {
+			panic("hungarian: ragged cost matrix")
+		}
+	}
+	if m == 0 {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = -1
+		}
+		return out
+	}
+
+	// The classic formulation requires rows <= cols; transpose if needed.
+	transposed := false
+	work := cost
+	if n > m {
+		transposed = true
+		work = make([][]float64, m)
+		for j := 0; j < m; j++ {
+			work[j] = make([]float64, n)
+			for i := 0; i < n; i++ {
+				work[j][i] = cost[i][j]
+			}
+		}
+		n, m = m, n
+	}
+
+	// Potentials u (rows) and v (columns), 1-indexed internally with a
+	// virtual 0th row/column as in the standard e-maxx formulation.
+	u := make([]float64, n+1)
+	v := make([]float64, m+1)
+	p := make([]int, m+1) // p[j] = row matched to column j (1-indexed), 0 = free
+	way := make([]int, m+1)
+
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, m+1)
+		used := make([]bool, m+1)
+		for j := range minv {
+			minv[j] = math.Inf(1)
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := math.Inf(1)
+			j1 := -1
+			for j := 1; j <= m; j++ {
+				if used[j] {
+					continue
+				}
+				cur := work[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= m; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+
+	rowMatch := make([]int, n)
+	for i := range rowMatch {
+		rowMatch[i] = -1
+	}
+	for j := 1; j <= m; j++ {
+		if p[j] > 0 {
+			rowMatch[p[j]-1] = j - 1
+		}
+	}
+	// Strip matches that only exist because the solver was forced through
+	// a Disallowed edge.
+	for i, j := range rowMatch {
+		if j >= 0 && work[i][j] >= Disallowed/2 {
+			rowMatch[i] = -1
+		}
+	}
+
+	if !transposed {
+		return rowMatch
+	}
+	// Invert the row/column roles back to the caller's orientation.
+	out := make([]int, m)
+	for i := range out {
+		out[i] = -1
+	}
+	for i, j := range rowMatch {
+		if j >= 0 {
+			out[j] = i
+		}
+	}
+	return out
+}
+
+// TotalCost sums the cost of an assignment produced by Solve, counting
+// only matched rows.
+func TotalCost(cost [][]float64, rowMatch []int) float64 {
+	total := 0.0
+	for i, j := range rowMatch {
+		if j >= 0 {
+			total += cost[i][j]
+		}
+	}
+	return total
+}

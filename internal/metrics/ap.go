@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"sort"
+
+	"repro/internal/dataset"
+)
+
+// PRPoint is one operating point of a precision/recall curve.
+type PRPoint struct {
+	Threshold float64
+	Precision float64
+	Recall    float64
+}
+
+// PRCurve computes the precision/recall curve of pooled records, one
+// point per distinct score, in descending-score (increasing-recall)
+// order. An empty record set yields nil.
+func (r *ClassRecords) PRCurve() []PRPoint {
+	if len(r.Records) == 0 || r.NumGT == 0 {
+		return nil
+	}
+	recs := append([]Record(nil), r.Records...)
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Score > recs[j].Score })
+	var out []PRPoint
+	tp, fp := 0, 0
+	for i, rec := range recs {
+		if rec.TP {
+			tp++
+		} else {
+			fp++
+		}
+		// Emit a point at each score boundary (last of equal scores).
+		if i+1 < len(recs) && recs[i+1].Score == rec.Score {
+			continue
+		}
+		out = append(out, PRPoint{
+			Threshold: rec.Score,
+			Precision: float64(tp) / float64(tp+fp),
+			Recall:    float64(tp) / float64(r.NumGT),
+		})
+	}
+	return out
+}
+
+// PrecisionRecallAt returns the operating point at a score threshold:
+// precision and recall over detections with Score >= t.
+func (r *ClassRecords) PrecisionRecallAt(t float64) (precision, recall float64) {
+	tp, fp := 0, 0
+	for _, rec := range r.Records {
+		if rec.Score < t {
+			continue
+		}
+		if rec.TP {
+			tp++
+		} else {
+			fp++
+		}
+	}
+	if tp+fp == 0 {
+		return 1, 0 // no detections above t: vacuous precision
+	}
+	if r.NumGT == 0 {
+		return float64(tp) / float64(tp+fp), 0
+	}
+	return float64(tp) / float64(tp+fp), float64(tp) / float64(r.NumGT)
+}
+
+// AP returns the 11-point interpolated average precision (Pascal VOC
+// 2007 protocol, which KITTI's metric follows): the mean over recall
+// targets {0, 0.1, ..., 1.0} of the maximum precision at recall >= the
+// target.
+func (r *ClassRecords) AP() float64 {
+	curve := r.PRCurve()
+	if curve == nil {
+		return 0
+	}
+	sum := 0.0
+	for i := 0; i <= 10; i++ {
+		target := float64(i) / 10
+		best := 0.0
+		for _, p := range curve {
+			if p.Recall >= target && p.Precision > best {
+				best = p.Precision
+			}
+		}
+		sum += best
+	}
+	return sum / 11
+}
+
+// MAP evaluates the dataset at a difficulty and returns the mean AP over
+// classes plus the per-class values.
+func MAP(ds *dataset.Dataset, dets Detections, diff dataset.Difficulty) (float64, map[dataset.Class]float64) {
+	records := Collect(ds, dets, diff)
+	perClass := map[dataset.Class]float64{}
+	sum := 0.0
+	for _, c := range ds.Classes {
+		ap := records[c].AP()
+		perClass[c] = ap
+		sum += ap
+	}
+	if len(ds.Classes) == 0 {
+		return 0, perClass
+	}
+	return sum / float64(len(ds.Classes)), perClass
+}

@@ -1,0 +1,140 @@
+// Package metrics implements the paper's two evaluation metrics: mean
+// Average Precision (VOC 11-point protocol with KITTI difficulty
+// filtering and per-class IoU thresholds) and mean Delay mD@beta
+// (Section 5, Eq. 4-5), plus the precision/recall/delay curves of
+// Figure 7.
+package metrics
+
+import (
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+)
+
+// Detections holds a system's output for a dataset: for each sequence ID,
+// one detection list per frame (indexed like Sequence.Frames).
+type Detections map[string][][]geom.Scored
+
+// Record is one scored detection's evaluation outcome for a class.
+type Record struct {
+	Score float64
+	TP    bool
+}
+
+// ClassRecords accumulates the pooled records and ground-truth count for
+// one class at one difficulty.
+type ClassRecords struct {
+	Class   dataset.Class
+	Records []Record
+	NumGT   int
+}
+
+// matchFrame evaluates one labeled frame for one class following the
+// KITTI protocol:
+//
+//   - ground truth of the class failing the difficulty filter is "don't
+//     care": it is never a false negative, and detections overlapping it
+//     are dropped rather than counted as false positives;
+//   - detections are matched greedily in descending score order to the
+//     best-IoU unmatched eligible ground truth, requiring the class IoU
+//     (0.7 Car / 0.5 Pedestrian);
+//   - unmatched detections shorter than the difficulty's minimum height
+//     are ignored, as in the official development kit.
+//
+// detectedTracks, when non-nil, receives the TrackIDs of ground-truth
+// objects matched in this frame (used by the delay metric).
+func matchFrame(objects []dataset.Object, dets []geom.Scored, class dataset.Class,
+	diff dataset.Difficulty, out *ClassRecords, detectedTracks map[int]bool) {
+	matchFrameIoU(objects, dets, class, diff, class.MatchIoU(), out, detectedTracks)
+}
+
+// matchFrameIoU is matchFrame with an explicit IoU threshold, the
+// primitive the COCO-protocol evaluation sweeps.
+func matchFrameIoU(objects []dataset.Object, dets []geom.Scored, class dataset.Class,
+	diff dataset.Difficulty, thresh float64, out *ClassRecords, detectedTracks map[int]bool) {
+
+	var eligible, ignored []dataset.Object
+	for _, o := range objects {
+		if o.Class != class {
+			continue
+		}
+		if diff.Eligible(o) {
+			eligible = append(eligible, o)
+		} else {
+			ignored = append(ignored, o)
+		}
+	}
+	out.NumGT += len(eligible)
+
+	var cls []geom.Scored
+	for _, d := range dets {
+		if d.Class == int(class) {
+			cls = append(cls, d)
+		}
+	}
+	sort.SliceStable(cls, func(i, j int) bool { return cls[i].Score > cls[j].Score })
+
+	matched := make([]bool, len(eligible))
+	for _, d := range cls {
+		best, bestIoU := -1, 0.0
+		for i, o := range eligible {
+			if matched[i] {
+				continue
+			}
+			if iou := geom.IoU(d.Box, o.Box); iou > bestIoU {
+				best, bestIoU = i, iou
+			}
+		}
+		if best >= 0 && bestIoU >= thresh {
+			matched[best] = true
+			out.Records = append(out.Records, Record{Score: d.Score, TP: true})
+			if detectedTracks != nil {
+				detectedTracks[eligible[best].TrackID] = true
+			}
+			continue
+		}
+		// Don't-care handling: overlap with an ignored ground truth.
+		dontCare := false
+		for _, o := range ignored {
+			if geom.IoU(d.Box, o.Box) >= thresh/2 {
+				dontCare = true
+				break
+			}
+		}
+		if dontCare {
+			continue
+		}
+		// Too-small detections are ignored, not penalized.
+		if d.Box.Height() < diff.MinHeight() {
+			continue
+		}
+		out.Records = append(out.Records, Record{Score: d.Score, TP: false})
+	}
+}
+
+// Collect pools the per-frame evaluation records for every class of the
+// dataset at the given difficulty. Only labeled frames contribute.
+func Collect(ds *dataset.Dataset, dets Detections, diff dataset.Difficulty) map[dataset.Class]*ClassRecords {
+	out := map[dataset.Class]*ClassRecords{}
+	for _, c := range ds.Classes {
+		out[c] = &ClassRecords{Class: c}
+	}
+	for si := range ds.Sequences {
+		seq := &ds.Sequences[si]
+		frames := dets[seq.ID]
+		for fi := range seq.Frames {
+			if !seq.Frames[fi].Labeled {
+				continue
+			}
+			var fd []geom.Scored
+			if frames != nil && fi < len(frames) {
+				fd = frames[fi]
+			}
+			for _, c := range ds.Classes {
+				matchFrame(seq.Frames[fi].Objects, fd, c, diff, out[c], nil)
+			}
+		}
+	}
+	return out
+}

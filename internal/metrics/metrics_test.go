@@ -1,0 +1,338 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+)
+
+// oneFrameDataset builds a single labeled frame with the given objects.
+func oneFrameDataset(objs ...dataset.Object) *dataset.Dataset {
+	return &dataset.Dataset{
+		Name:    "t",
+		Classes: []dataset.Class{dataset.Car, dataset.Pedestrian},
+		Sequences: []dataset.Sequence{{
+			ID: "s", Width: 1000, Height: 500, FPS: 10,
+			Frames: []dataset.Frame{{Index: 0, Labeled: true, Objects: objs}},
+		}},
+	}
+}
+
+func car(id int, x, y, w, h float64) dataset.Object {
+	return dataset.Object{TrackID: id, Class: dataset.Car, Box: geom.NewBox(x, y, x+w, y+h)}
+}
+
+func d(x, y, w, h, score float64, class int) geom.Scored {
+	return geom.Scored{Box: geom.NewBox(x, y, x+w, y+h), Score: score, Class: class}
+}
+
+func TestPerfectDetectionAP(t *testing.T) {
+	ds := oneFrameDataset(car(1, 100, 100, 80, 60), car(2, 400, 100, 80, 60))
+	dets := Detections{"s": {{
+		d(100, 100, 80, 60, 0.9, 0),
+		d(400, 100, 80, 60, 0.8, 0),
+	}}}
+	records := Collect(ds, dets, dataset.Hard)
+	ap := records[dataset.Car].AP()
+	if math.Abs(ap-1.0) > 1e-9 {
+		t.Fatalf("perfect AP = %v, want 1", ap)
+	}
+}
+
+func TestMissedDetectionLowersAP(t *testing.T) {
+	ds := oneFrameDataset(car(1, 100, 100, 80, 60), car(2, 400, 100, 80, 60))
+	dets := Detections{"s": {{d(100, 100, 80, 60, 0.9, 0)}}}
+	records := Collect(ds, dets, dataset.Hard)
+	ap := records[dataset.Car].AP()
+	// Recall caps at 0.5: recall points 0..0.5 have precision 1, the
+	// rest 0 -> AP = 6/11.
+	want := 6.0 / 11
+	if math.Abs(ap-want) > 1e-9 {
+		t.Fatalf("AP = %v, want %v", ap, want)
+	}
+}
+
+func TestFalsePositiveLowersAP(t *testing.T) {
+	ds := oneFrameDataset(car(1, 100, 100, 80, 60))
+	// FP scored above the TP: precision at recall 1.0 is 0.5.
+	dets := Detections{"s": {{
+		d(700, 300, 80, 60, 0.95, 0),
+		d(100, 100, 80, 60, 0.9, 0),
+	}}}
+	records := Collect(ds, dets, dataset.Hard)
+	ap := records[dataset.Car].AP()
+	want := 0.5 // max precision at every recall target is 1/2
+	if math.Abs(ap-want) > 1e-9 {
+		t.Fatalf("AP = %v, want %v", ap, want)
+	}
+}
+
+func TestLowIoUDetectionIsFPandFN(t *testing.T) {
+	ds := oneFrameDataset(car(1, 100, 100, 80, 60))
+	// Offset box with IoU ~ 0.32 < 0.7: both an FP and a miss.
+	dets := Detections{"s": {{d(140, 130, 80, 60, 0.9, 0)}}}
+	records := Collect(ds, dets, dataset.Hard)
+	if ap := records[dataset.Car].AP(); ap != 0 {
+		t.Fatalf("AP = %v, want 0", ap)
+	}
+}
+
+func TestPedestrianUsesLooserIoU(t *testing.T) {
+	ped := dataset.Object{TrackID: 1, Class: dataset.Pedestrian, Box: geom.NewBox(100, 100, 130, 190)}
+	ds := oneFrameDataset(ped)
+	// Shifted box with IoU ~ 0.55: valid for Pedestrian (0.5) but would
+	// fail the Car threshold (0.7).
+	shifted := geom.NewBox(105, 110, 135, 200)
+	if iou := geom.IoU(ped.Box, shifted); iou < 0.5 || iou > 0.7 {
+		t.Fatalf("test setup: IoU = %v, want in (0.5, 0.7)", iou)
+	}
+	dets := Detections{"s": {{{Box: shifted, Score: 0.9, Class: int(dataset.Pedestrian)}}}}
+	records := Collect(ds, dets, dataset.Hard)
+	if ap := records[dataset.Pedestrian].AP(); math.Abs(ap-1) > 1e-9 {
+		t.Fatalf("pedestrian AP = %v, want 1", ap)
+	}
+}
+
+func TestClassConfusionNotMatched(t *testing.T) {
+	ds := oneFrameDataset(car(1, 100, 100, 80, 60))
+	dets := Detections{"s": {{d(100, 100, 80, 60, 0.9, int(dataset.Pedestrian))}}}
+	records := Collect(ds, dets, dataset.Hard)
+	if ap := records[dataset.Car].AP(); ap != 0 {
+		t.Fatalf("car AP = %v, want 0 (wrong-class detection)", ap)
+	}
+	// The pedestrian detection is an FP for its own class... but there
+	// is no pedestrian GT, so AP is 0 with no ground truth.
+	if records[dataset.Pedestrian].NumGT != 0 {
+		t.Fatal("phantom pedestrian GT")
+	}
+}
+
+func TestDontCareIgnored(t *testing.T) {
+	// A largely-occluded car is don't-care at Moderate: detecting it
+	// must not count as FP, and missing it must not count as FN.
+	occluded := car(1, 100, 100, 80, 60)
+	occluded.Occlusion = dataset.LargelyOccluded
+	visible := car(2, 400, 100, 80, 60)
+	ds := oneFrameDataset(occluded, visible)
+
+	dets := Detections{"s": {{
+		d(100, 100, 80, 60, 0.95, 0), // hits the don't-care object
+		d(400, 100, 80, 60, 0.9, 0),  // hits the real object
+	}}}
+	records := Collect(ds, dets, dataset.Moderate)
+	r := records[dataset.Car]
+	if r.NumGT != 1 {
+		t.Fatalf("NumGT = %d, want 1 (occluded is don't-care)", r.NumGT)
+	}
+	if ap := r.AP(); math.Abs(ap-1) > 1e-9 {
+		t.Fatalf("AP = %v, want 1 (don't-care hit must not be FP)", ap)
+	}
+	// At Hard the occluded car becomes real ground truth.
+	recordsHard := Collect(ds, dets, dataset.Hard)
+	if recordsHard[dataset.Car].NumGT != 2 {
+		t.Fatal("Hard should count both cars")
+	}
+}
+
+func TestTinyDetectionIgnoredNotFP(t *testing.T) {
+	ds := oneFrameDataset(car(1, 100, 100, 80, 60))
+	dets := Detections{"s": {{
+		d(100, 100, 80, 60, 0.9, 0),
+		d(700, 300, 30, 15, 0.95, 0), // 15px tall: below Hard's 25px minimum
+	}}}
+	records := Collect(ds, dets, dataset.Hard)
+	if ap := records[dataset.Car].AP(); math.Abs(ap-1) > 1e-9 {
+		t.Fatalf("AP = %v, want 1 (tiny detection must be ignored)", ap)
+	}
+}
+
+func TestMAPAveragesClasses(t *testing.T) {
+	ped := dataset.Object{TrackID: 2, Class: dataset.Pedestrian, Box: geom.NewBox(600, 100, 640, 220)}
+	ds := oneFrameDataset(car(1, 100, 100, 80, 60), ped)
+	dets := Detections{"s": {{
+		d(100, 100, 80, 60, 0.9, 0), // perfect car
+		// pedestrian missed
+	}}}
+	mAP, perClass := MAP(ds, dets, dataset.Hard)
+	if math.Abs(perClass[dataset.Car]-1) > 1e-9 || perClass[dataset.Pedestrian] != 0 {
+		t.Fatalf("per-class AP = %v", perClass)
+	}
+	if math.Abs(mAP-0.5) > 1e-9 {
+		t.Fatalf("mAP = %v, want 0.5", mAP)
+	}
+}
+
+func TestPrecisionRecallAt(t *testing.T) {
+	r := &ClassRecords{NumGT: 4, Records: []Record{
+		{Score: 0.9, TP: true},
+		{Score: 0.8, TP: false},
+		{Score: 0.7, TP: true},
+		{Score: 0.6, TP: false},
+	}}
+	p, rec := r.PrecisionRecallAt(0.75)
+	if math.Abs(p-0.5) > 1e-9 || math.Abs(rec-0.25) > 1e-9 {
+		t.Fatalf("P/R at 0.75 = %v/%v", p, rec)
+	}
+	p, rec = r.PrecisionRecallAt(0.0)
+	if math.Abs(p-0.5) > 1e-9 || math.Abs(rec-0.5) > 1e-9 {
+		t.Fatalf("P/R at 0 = %v/%v", p, rec)
+	}
+	p, rec = r.PrecisionRecallAt(0.99)
+	if p != 1 || rec != 0 {
+		t.Fatalf("P/R above all scores = %v/%v, want vacuous 1/0", p, rec)
+	}
+}
+
+// delayDataset: one track entering at frame 2 (eligible immediately),
+// detections from frame 5.
+func delayDataset() (*dataset.Dataset, Detections) {
+	seq := dataset.Sequence{ID: "s", Width: 1000, Height: 500, FPS: 10}
+	for f := 0; f < 10; f++ {
+		fr := dataset.Frame{Index: f, Labeled: true}
+		if f >= 2 {
+			fr.Objects = []dataset.Object{car(7, 100+float64(f)*5, 100, 80, 60)}
+		}
+		seq.Frames = append(seq.Frames, fr)
+	}
+	ds := &dataset.Dataset{Name: "t", Classes: []dataset.Class{dataset.Car}, Sequences: []dataset.Sequence{seq}}
+
+	frames := make([][]geom.Scored, 10)
+	for f := 5; f < 10; f++ {
+		frames[f] = []geom.Scored{d(100+float64(f)*5, 100, 80, 60, 0.9, 0)}
+	}
+	return ds, Detections{"s": frames}
+}
+
+func TestDelayBasic(t *testing.T) {
+	ds, dets := delayDataset()
+	tracks := CollectTracks(ds, dets, dataset.Hard)
+	if len(tracks) != 1 {
+		t.Fatalf("tracks = %d", len(tracks))
+	}
+	tr := tracks[0]
+	if tr.FirstEligible != 2 || tr.LastFrame != 9 {
+		t.Fatalf("span = [%d,%d], want [2,9]", tr.FirstEligible, tr.LastFrame)
+	}
+	if delay := tr.DelayAt(0.5); delay != 3 {
+		t.Fatalf("delay = %v, want 3 (appears at 2, detected at 5)", delay)
+	}
+	// Above the detection scores: never detected -> full lifetime.
+	if delay := tr.DelayAt(0.95); delay != 8 {
+		t.Fatalf("undetected delay = %v, want 8", delay)
+	}
+}
+
+func TestDelayNeverEligibleExcluded(t *testing.T) {
+	// A 10px-tall object is never Hard-eligible.
+	seq := dataset.Sequence{ID: "s", Width: 1000, Height: 500, FPS: 10,
+		Frames: []dataset.Frame{{Index: 0, Labeled: true, Objects: []dataset.Object{
+			{TrackID: 1, Class: dataset.Car, Box: geom.NewBox(0, 0, 30, 10)},
+		}}}}
+	ds := &dataset.Dataset{Classes: []dataset.Class{dataset.Car}, Sequences: []dataset.Sequence{seq}}
+	tracks := CollectTracks(ds, Detections{}, dataset.Hard)
+	mean, perClass := MeanDelay(tracks, ds.Classes, 0.5)
+	if !math.IsNaN(mean) || len(perClass) != 0 {
+		t.Fatalf("never-eligible track not excluded: %v %v", mean, perClass)
+	}
+}
+
+func TestThresholdForMeanPrecision(t *testing.T) {
+	records := map[dataset.Class]*ClassRecords{
+		dataset.Car: {Class: dataset.Car, NumGT: 10, Records: []Record{
+			{Score: 0.9, TP: true}, {Score: 0.8, TP: true}, {Score: 0.7, TP: true},
+			{Score: 0.6, TP: false}, {Score: 0.5, TP: true}, {Score: 0.4, TP: false},
+			{Score: 0.3, TP: false}, {Score: 0.2, TP: false},
+		}},
+	}
+	classes := []dataset.Class{dataset.Car}
+	tr := ThresholdForMeanPrecision(records, classes, 0.8)
+	// At t=0.5: 4 TP, 1 FP -> precision 0.8. Any lower includes more FPs.
+	if math.Abs(tr-0.5) > 1e-9 {
+		t.Fatalf("threshold = %v, want 0.5", tr)
+	}
+	// Unreachable precision falls back to the best available.
+	records[dataset.Car].Records = []Record{{Score: 0.9, TP: false}, {Score: 0.5, TP: true}}
+	tr = ThresholdForMeanPrecision(records, classes, 0.99)
+	if math.Abs(tr-0.5) > 1e-9 {
+		t.Fatalf("fallback threshold = %v, want 0.5 (max precision 0.5)", tr)
+	}
+}
+
+func TestMeanDelayAtPrecision(t *testing.T) {
+	ds, dets := delayDataset()
+	mean, perClass, thresh := MeanDelayAtPrecision(ds, dets, dataset.Hard, 0.8)
+	if mean != 3 {
+		t.Fatalf("mD@0.8 = %v, want 3", mean)
+	}
+	if perClass[dataset.Car] != 3 {
+		t.Fatalf("per-class = %v", perClass)
+	}
+	if thresh > 0.9 {
+		t.Fatalf("threshold = %v, too high", thresh)
+	}
+}
+
+func TestDelayRecallCurve(t *testing.T) {
+	ds, dets := delayDataset()
+	pts := DelayRecallCurve(ds, dets, dataset.Hard, dataset.Car, []float64{0.5, 0.8, 1.0})
+	if len(pts) == 0 {
+		t.Fatal("empty curve")
+	}
+	for _, p := range pts {
+		if p.Precision < 0.5 {
+			t.Fatalf("point below requested precision: %+v", p)
+		}
+		if p.Recall < 0 || p.Recall > 1 {
+			t.Fatalf("recall out of range: %+v", p)
+		}
+		if p.Delay < 0 {
+			t.Fatalf("negative delay: %+v", p)
+		}
+	}
+}
+
+func TestUnlabeledFramesSkipped(t *testing.T) {
+	seq := dataset.Sequence{ID: "s", Width: 1000, Height: 500, FPS: 10,
+		Frames: []dataset.Frame{
+			{Index: 0, Labeled: false, Objects: []dataset.Object{car(1, 100, 100, 80, 60)}},
+			{Index: 1, Labeled: true, Objects: []dataset.Object{car(1, 105, 100, 80, 60)}},
+		}}
+	ds := &dataset.Dataset{Classes: []dataset.Class{dataset.Car}, Sequences: []dataset.Sequence{seq}}
+	// Detection only on the unlabeled frame: must contribute nothing.
+	dets := Detections{"s": {
+		{d(100, 100, 80, 60, 0.9, 0)},
+		nil,
+	}}
+	records := Collect(ds, dets, dataset.Hard)
+	r := records[dataset.Car]
+	if r.NumGT != 1 || len(r.Records) != 0 {
+		t.Fatalf("unlabeled frame leaked into eval: GT=%d records=%d", r.NumGT, len(r.Records))
+	}
+}
+
+func TestPRCurveMonotoneRecall(t *testing.T) {
+	r := &ClassRecords{NumGT: 5}
+	scores := []float64{0.9, 0.85, 0.8, 0.7, 0.65, 0.5, 0.4, 0.3}
+	tps := []bool{true, true, false, true, false, true, false, false}
+	for i := range scores {
+		r.Records = append(r.Records, Record{Score: scores[i], TP: tps[i]})
+	}
+	curve := r.PRCurve()
+	for i := 1; i < len(curve); i++ {
+		if curve[i].Recall < curve[i-1].Recall {
+			t.Fatalf("recall not monotone at %d", i)
+		}
+		if curve[i].Threshold > curve[i-1].Threshold {
+			t.Fatalf("thresholds not descending at %d", i)
+		}
+	}
+}
+
+func TestAPEmptyRecords(t *testing.T) {
+	r := &ClassRecords{NumGT: 0}
+	if ap := r.AP(); ap != 0 {
+		t.Fatalf("empty AP = %v", ap)
+	}
+}

@@ -1,0 +1,172 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+)
+
+// randRecords builds a random pooled record set. At most NumGT records
+// are true positives, the physical constraint the matcher guarantees.
+func randRecords(rng *rand.Rand) *ClassRecords {
+	n := 1 + rng.Intn(50)
+	r := &ClassRecords{Class: dataset.Car, NumGT: 1 + rng.Intn(40)}
+	tps := 0
+	for i := 0; i < n; i++ {
+		isTP := rng.Float64() < 0.6 && tps < r.NumGT
+		if isTP {
+			tps++
+		}
+		r.Records = append(r.Records, Record{Score: rng.Float64(), TP: isTP})
+	}
+	return r
+}
+
+// Property: AP is always within [0, 1].
+func TestAPBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		r := randRecords(rand.New(rand.NewSource(seed)))
+		ap := r.AP()
+		return ap >= 0 && ap <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the PR curve's recall is non-decreasing and bounded by 1;
+// precision stays in [0, 1] (0 is reachable when the top-scored
+// records are false positives).
+func TestPRCurveBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		r := randRecords(rand.New(rand.NewSource(seed)))
+		prev := -1.0
+		for _, p := range r.PRCurve() {
+			if p.Recall < prev || p.Recall > 1+1e-9 {
+				return false
+			}
+			if p.Precision < 0 || p.Precision > 1 {
+				return false
+			}
+			prev = p.Recall
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: precision and recall at a threshold agree with the curve's
+// index-based computation, and recall at threshold is non-increasing in
+// the threshold.
+func TestPrecisionRecallMonotoneRecall(t *testing.T) {
+	f := func(seed int64) bool {
+		r := randRecords(rand.New(rand.NewSource(seed)))
+		prevRecall := math.Inf(1)
+		for _, th := range []float64{0, 0.25, 0.5, 0.75, 1.0} {
+			_, rec := r.PrecisionRecallAt(th)
+			if rec > prevRecall+1e-9 {
+				return false
+			}
+			prevRecall = rec
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: adding a false positive never raises AP; adding a true
+// positive never lowers it (with NumGT held fixed... a TP reduces FNs
+// so AP must not decrease).
+func TestAPMonotonicity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := randRecords(rng)
+		base := r.AP()
+		withFP := &ClassRecords{Class: r.Class, NumGT: r.NumGT,
+			Records: append(append([]Record{}, r.Records...), Record{Score: rng.Float64(), TP: false})}
+		if withFP.AP() > base+1e-9 {
+			return false
+		}
+		// Count TPs to respect NumGT.
+		tp := 0
+		for _, rec := range r.Records {
+			if rec.TP {
+				tp++
+			}
+		}
+		if tp >= r.NumGT {
+			return true
+		}
+		withTP := &ClassRecords{Class: r.Class, NumGT: r.NumGT,
+			Records: append(append([]Record{}, r.Records...), Record{Score: rng.Float64(), TP: true})}
+		return withTP.AP() >= base-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: DelayAt is non-decreasing in the threshold (a stricter
+// threshold can only delay the first detection).
+func TestDelayMonotoneInThreshold(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := &TrackObservation{
+			Class: dataset.Car, FirstEligible: 0, LastFrame: 20,
+			FrameScores: map[int]float64{},
+		}
+		for fi := 0; fi <= 20; fi++ {
+			if rng.Float64() < 0.5 {
+				tr.FrameScores[fi] = rng.Float64()
+			}
+		}
+		prev := -1.0
+		for _, th := range []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0} {
+			d := tr.DelayAt(th)
+			if d < prev {
+				return false
+			}
+			prev = d
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: entry delay plus exit delay never exceed the evaluated
+// lifetime when the track is detected at least once; both equal the
+// lifetime when never detected.
+func TestEntryExitDelayConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := &TrackObservation{
+			Class: dataset.Car, FirstEligible: 0, LastFrame: 15,
+			FrameScores: map[int]float64{},
+		}
+		detected := false
+		for fi := 0; fi <= 15; fi++ {
+			if rng.Float64() < 0.4 {
+				tr.FrameScores[fi] = 0.9
+				detected = true
+			}
+		}
+		life := float64(tr.LastFrame - tr.FirstEligible + 1)
+		entry, exit := tr.DelayAt(0.5), tr.ExitDelayAt(0.5)
+		if !detected {
+			return entry == life && exit == life
+		}
+		return entry+exit <= life-1+1e-9 // at least one detected frame between them
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,196 @@
+package ops
+
+import "fmt"
+
+// Backbone is a feature-extraction trunk split at the point where Faster
+// R-CNN divides work: Trunk runs once over the (selected regions of the)
+// image and produces the shared feature map; Head runs once per RoI on a
+// pooled RoISize x RoISize patch. For the ResNet family the split is
+// after conv4 (stride 16), with conv5 as the per-RoI head, the standard
+// Faster R-CNN arrangement; VGG-16 uses conv1-5 as trunk and the FC
+// layers as head.
+type Backbone struct {
+	Name  string
+	Trunk Net
+	Head  Net
+	// RoISize is the spatial size of the pooled patch fed to the head.
+	RoISize int
+}
+
+// basicBlock appends a ResNet basic block (two 3x3 convs plus a 1x1
+// projection when shape changes) to the layer list.
+func basicBlock(layers []Layer, name string, inCh, outCh, stride int) []Layer {
+	layers = append(layers,
+		Layer{Name: name + ".conv1", Kind: Conv, Kernel: 3, Stride: stride, InCh: inCh, OutCh: outCh},
+		Layer{Name: name + ".conv2", Kind: Conv, Kernel: 3, Stride: 1, InCh: outCh, OutCh: outCh},
+	)
+	if stride != 1 || inCh != outCh {
+		// The projection shortcut runs in parallel with the main path and
+		// produces the block output; in this sequential cost model it is
+		// counted at the output resolution with stride 1 (same MAC count,
+		// and it must not shrink the spatial dims a second time).
+		layers = append(layers, Layer{Name: name + ".down", Kind: Conv, Kernel: 1, Stride: 1, InCh: inCh, OutCh: outCh})
+	}
+	return layers
+}
+
+// bottleneckBlock appends a ResNet bottleneck block (1x1 reduce, 3x3,
+// 1x1 expand x4) to the layer list.
+func bottleneckBlock(layers []Layer, name string, inCh, midCh, stride int) []Layer {
+	outCh := midCh * 4
+	layers = append(layers,
+		Layer{Name: name + ".conv1", Kind: Conv, Kernel: 1, Stride: 1, InCh: inCh, OutCh: midCh},
+		Layer{Name: name + ".conv2", Kind: Conv, Kernel: 3, Stride: stride, InCh: midCh, OutCh: midCh},
+		Layer{Name: name + ".conv3", Kind: Conv, Kernel: 1, Stride: 1, InCh: midCh, OutCh: outCh},
+	)
+	if stride != 1 || inCh != outCh {
+		// Parallel projection shortcut; see basicBlock for why stride 1.
+		layers = append(layers, Layer{Name: name + ".down", Kind: Conv, Kernel: 1, Stride: 1, InCh: inCh, OutCh: outCh})
+	}
+	return layers
+}
+
+// stem appends the standard ResNet stem: 7x7/2 conv then 3x3/2 max pool.
+func stem(layers []Layer, outCh int) []Layer {
+	return append(layers,
+		Layer{Name: "conv1", Kind: Conv, Kernel: 7, Stride: 2, InCh: 3, OutCh: outCh},
+		Layer{Name: "pool1", Kind: MaxPool, Kernel: 3, Stride: 2},
+	)
+}
+
+// SmallResNetSpec captures one column of the paper's Table 1: the channel
+// widths of the stem and the four block stages, plus how many times each
+// block repeats (2 for ResNet-18, 1 for the ResNet-10 variants).
+type SmallResNetSpec struct {
+	Name    string
+	Conv1   int
+	Blocks  [4]int
+	Repeats int
+}
+
+// Table1Specs are the proposal-network architectures of the paper's
+// Table 1, verbatim.
+var Table1Specs = []SmallResNetSpec{
+	{Name: "resnet18", Conv1: 64, Blocks: [4]int{64, 128, 256, 512}, Repeats: 2},
+	{Name: "resnet10a", Conv1: 48, Blocks: [4]int{48, 96, 168, 512}, Repeats: 1},
+	{Name: "resnet10b", Conv1: 32, Blocks: [4]int{32, 64, 128, 256}, Repeats: 1},
+	{Name: "resnet10c", Conv1: 24, Blocks: [4]int{24, 48, 96, 192}, Repeats: 1},
+}
+
+// BuildSmallResNet constructs a basic-block ResNet backbone from a Table 1
+// spec, split after stage 3 for the Faster R-CNN trunk/head division.
+func BuildSmallResNet(spec SmallResNetSpec) Backbone {
+	var trunk []Layer
+	trunk = stem(trunk, spec.Conv1)
+	in := spec.Conv1
+	for stage := 0; stage < 3; stage++ {
+		ch := spec.Blocks[stage]
+		stride := 1
+		if stage > 0 {
+			stride = 2
+		}
+		for rep := 0; rep < spec.Repeats; rep++ {
+			name := fmt.Sprintf("stage%d.block%d", stage+1, rep)
+			s := 1
+			if rep == 0 {
+				s = stride
+			}
+			trunk = basicBlock(trunk, name, in, ch, s)
+			in = ch
+		}
+	}
+	var head []Layer
+	ch := spec.Blocks[3]
+	for rep := 0; rep < spec.Repeats; rep++ {
+		name := fmt.Sprintf("stage4.block%d", rep)
+		s := 1
+		if rep == 0 {
+			s = 2
+		}
+		head = basicBlock(head, name, in, ch, s)
+		in = ch
+	}
+	return Backbone{
+		Name:    spec.Name,
+		Trunk:   Net{Name: spec.Name + ".trunk", Layers: trunk},
+		Head:    Net{Name: spec.Name + ".head", Layers: head},
+		RoISize: 14,
+	}
+}
+
+// BuildResNet50 constructs the standard ResNet-50 bottleneck backbone,
+// split after conv4 (trunk) with conv5 as the per-RoI head.
+func BuildResNet50() Backbone {
+	var trunk []Layer
+	trunk = stem(trunk, 64)
+	in := 64
+	stages := []struct {
+		mid, blocks, stride int
+	}{
+		{64, 3, 1},
+		{128, 4, 2},
+		{256, 6, 2},
+	}
+	for si, st := range stages {
+		for rep := 0; rep < st.blocks; rep++ {
+			s := 1
+			if rep == 0 {
+				s = st.stride
+			}
+			trunk = bottleneckBlock(trunk, fmt.Sprintf("stage%d.block%d", si+1, rep), in, st.mid, s)
+			in = st.mid * 4
+		}
+	}
+	var head []Layer
+	for rep := 0; rep < 3; rep++ {
+		s := 1
+		if rep == 0 {
+			s = 2
+		}
+		head = bottleneckBlock(head, fmt.Sprintf("stage4.block%d", rep), in, 512, s)
+		in = 512 * 4
+	}
+	return Backbone{
+		Name:    "resnet50",
+		Trunk:   Net{Name: "resnet50.trunk", Layers: trunk},
+		Head:    Net{Name: "resnet50.head", Layers: head},
+		RoISize: 14,
+	}
+}
+
+// BuildVGG16 constructs the VGG-16 backbone used by the original Faster
+// R-CNN: conv1-conv5 as trunk, the two 4096-wide FC layers as per-RoI
+// head over a 7x7x512 pooled patch.
+func BuildVGG16() Backbone {
+	cfg := []struct {
+		ch, n int
+	}{
+		{64, 2}, {128, 2}, {256, 3}, {512, 3}, {512, 3},
+	}
+	var trunk []Layer
+	in := 3
+	for si, c := range cfg {
+		for rep := 0; rep < c.n; rep++ {
+			trunk = append(trunk, Layer{
+				Name: fmt.Sprintf("conv%d_%d", si+1, rep+1), Kind: Conv,
+				Kernel: 3, Stride: 1, InCh: in, OutCh: c.ch,
+			})
+			in = c.ch
+		}
+		// VGG pools after every stage, but Faster R-CNN drops the final
+		// pool so the trunk output stride is 16.
+		if si < len(cfg)-1 {
+			trunk = append(trunk, Layer{Name: fmt.Sprintf("pool%d", si+1), Kind: MaxPool, Kernel: 2, Stride: 2})
+		}
+	}
+	head := []Layer{
+		{Name: "fc6", Kind: FC, InCh: 7 * 7 * 512, OutCh: 4096},
+		{Name: "fc7", Kind: FC, InCh: 4096, OutCh: 4096},
+	}
+	return Backbone{
+		Name:    "vgg16",
+		Trunk:   Net{Name: "vgg16.trunk", Layers: trunk},
+		Head:    Net{Name: "vgg16.head", Layers: head},
+		RoISize: 7,
+	}
+}

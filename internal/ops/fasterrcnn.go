@@ -1,0 +1,125 @@
+package ops
+
+// NumAnchors is the RPN anchor count per feature-map location: 3 anchor
+// types with 4 scales each (Section 4.2 of the paper).
+const NumAnchors = 12
+
+// DefaultProposals is the standard Faster R-CNN proposal count after NMS.
+const DefaultProposals = 300
+
+// FasterRCNN is the operation cost model of a Faster R-CNN detector. The
+// total cost splits into an area-dependent part (trunk + RPN, which scan
+// the image or its selected regions) and a proposal-count-dependent part
+// (the per-RoI head). featScale and headScale calibrate the two parts to
+// the paper's published totals; see Calibrate and zoo.go.
+type FasterRCNN struct {
+	Backbone     Backbone
+	NumProposals int
+
+	featScale float64
+	headScale float64
+}
+
+// NewFasterRCNN builds an uncalibrated cost model (scales = 1) with the
+// default 300-proposal configuration.
+func NewFasterRCNN(b Backbone) *FasterRCNN {
+	return &FasterRCNN{Backbone: b, NumProposals: DefaultProposals, featScale: 1, headScale: 1}
+}
+
+// rpnNet returns the RPN stack attached to the trunk output: a 3x3 conv
+// preserving channels plus 1x1 objectness and box-regression heads.
+func (m *FasterRCNN) rpnNet() Net {
+	c := m.Backbone.Trunk.OutChannels()
+	return Net{Name: m.Backbone.Name + ".rpn", Layers: []Layer{
+		{Name: "rpn.conv", Kind: Conv, Kernel: 3, Stride: 1, InCh: c, OutCh: c},
+		{Name: "rpn.cls", Kind: Conv, Kernel: 1, Stride: 1, InCh: c, OutCh: 2 * NumAnchors},
+		{Name: "rpn.reg", Kind: Conv, Kernel: 1, Stride: 1, InCh: c, OutCh: 4 * NumAnchors},
+	}}
+}
+
+// FeatureOps returns the area-dependent operations (trunk + RPN) for a
+// full w-by-h frame, after calibration.
+func (m *FasterRCNN) FeatureOps(w, h int) float64 {
+	trunk := m.Backbone.Trunk.Ops(w, h)
+	stride := m.Backbone.Trunk.OutputStride()
+	rpn := m.rpnNet().Ops((w+stride-1)/stride, (h+stride-1)/stride)
+	return (trunk + rpn) * m.featScale
+}
+
+// HeadOpsPerProposal returns the per-RoI head cost after calibration.
+func (m *FasterRCNN) HeadOpsPerProposal() float64 {
+	return m.Backbone.Head.Ops(m.Backbone.RoISize, m.Backbone.RoISize) * m.headScale
+}
+
+// HeadOps returns the head cost for n proposals.
+func (m *FasterRCNN) HeadOps(n int) float64 {
+	if n < 0 {
+		n = 0
+	}
+	return float64(n) * m.HeadOpsPerProposal()
+}
+
+// FullFrameOps returns the operations for standard full-frame inference
+// with the model's configured proposal count.
+func (m *FasterRCNN) FullFrameOps(w, h int) float64 {
+	return m.FeatureOps(w, h) + m.HeadOps(m.NumProposals)
+}
+
+// RegionOps returns the operations for selected-region inference: the
+// trunk and RPN only compute features over the covered fraction of the
+// frame, and the head runs once per supplied proposal. This is the
+// refinement-network mode of Section 4.3.
+func (m *FasterRCNN) RegionOps(w, h int, coveredFrac float64, nProposals int) float64 {
+	if coveredFrac < 0 {
+		coveredFrac = 0
+	}
+	if coveredFrac > 1 {
+		coveredFrac = 1
+	}
+	return m.FeatureOps(w, h)*coveredFrac + m.HeadOps(nProposals)
+}
+
+// Calibrate fits featScale and headScale so the model's full-frame totals
+// reproduce published anchors. With one anchor the two scales are set
+// equal (uniform scaling); with two anchors at different resolutions the
+// area-dependent and proposal-dependent parts are solved separately,
+// which is possible because the head cost does not vary with resolution.
+//
+// Anchors are expressed in raw operations for full-frame inference at the
+// model's configured proposal count.
+func (m *FasterRCNN) Calibrate(anchors []OpsAnchor) {
+	m.featScale, m.headScale = 1, 1
+	switch len(anchors) {
+	case 0:
+		return
+	case 1:
+		a := anchors[0]
+		analytic := m.FullFrameOps(a.W, a.H)
+		if analytic > 0 {
+			s := a.Ops / analytic
+			m.featScale, m.headScale = s, s
+		}
+	default:
+		a, b := anchors[0], anchors[1]
+		fa := m.FeatureOps(a.W, a.H)
+		fb := m.FeatureOps(b.W, b.H)
+		head := m.HeadOps(m.NumProposals)
+		if fa == fb || head == 0 {
+			m.Calibrate(anchors[:1])
+			return
+		}
+		fs := (b.Ops - a.Ops) / (fb - fa)
+		hs := (a.Ops - fs*fa) / head
+		if fs <= 0 || hs <= 0 {
+			m.Calibrate(anchors[:1])
+			return
+		}
+		m.featScale, m.headScale = fs, hs
+	}
+}
+
+// OpsAnchor is a published full-frame operation count at a resolution.
+type OpsAnchor struct {
+	W, H int
+	Ops  float64
+}

@@ -1,0 +1,60 @@
+package ops
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"text/tabwriter"
+)
+
+// LayerCost is one row of a per-layer operation report.
+type LayerCost struct {
+	Name       string
+	Kind       Kind
+	OutW, OutH int
+	Ops        float64
+}
+
+// Report returns the per-layer operation counts of a forward pass over
+// a w-by-h input, in execution order. Pooling rows appear with zero
+// ops (they only change spatial dimensions), matching the paper's rule
+// of counting only conv and FC layers.
+func (n Net) Report(w, h int) []LayerCost {
+	fw, fh := float64(w), float64(h)
+	out := make([]LayerCost, 0, len(n.Layers))
+	for _, l := range n.Layers {
+		cost := 0.0
+		switch l.Kind {
+		case Conv:
+			if l.Stride > 1 {
+				fw = math.Ceil(fw / float64(l.Stride))
+				fh = math.Ceil(fh / float64(l.Stride))
+			}
+			cost = float64(l.Kernel*l.Kernel) * float64(l.InCh) * float64(l.OutCh) * fw * fh * OpsPerMAC
+		case FC:
+			cost = float64(l.InCh) * float64(l.OutCh) * OpsPerMAC
+		case MaxPool:
+			if l.Stride > 1 {
+				fw = math.Ceil(fw / float64(l.Stride))
+				fh = math.Ceil(fh / float64(l.Stride))
+			}
+		case GlobalPool:
+			fw, fh = 1, 1
+		}
+		out = append(out, LayerCost{Name: l.Name, Kind: l.Kind, OutW: int(fw), OutH: int(fh), Ops: cost})
+	}
+	return out
+}
+
+// WriteReport renders a per-layer report of the net at the input size.
+func (n Net) WriteReport(w io.Writer, inW, inH int) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "layer\tout\tGops\n")
+	total := 0.0
+	for _, lc := range n.Report(inW, inH) {
+		fmt.Fprintf(tw, "%s\t%dx%d\t%.3f\n", lc.Name, lc.OutW, lc.OutH, lc.Ops/Giga)
+		total += lc.Ops
+	}
+	fmt.Fprintf(tw, "total (%s)\t\t%.3f\n", n.Name, total/Giga)
+	tw.Flush()
+}

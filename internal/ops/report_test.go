@@ -1,0 +1,55 @@
+package ops
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReportSumsToOps(t *testing.T) {
+	for _, spec := range Table1Specs {
+		b := BuildSmallResNet(spec)
+		net := b.Trunk.Concat(b.Head)
+		total := 0.0
+		for _, lc := range net.Report(KITTIWidth, KITTIHeight) {
+			total += lc.Ops
+		}
+		want := net.Ops(KITTIWidth, KITTIHeight)
+		if diff := total - want; diff > 1 || diff < -1 {
+			t.Errorf("%s: report total %.0f != Ops %.0f", spec.Name, total, want)
+		}
+	}
+}
+
+func TestReportSpatialDims(t *testing.T) {
+	b := BuildResNet50()
+	rep := b.Trunk.Report(1242, 375)
+	last := rep[len(rep)-1]
+	// Trunk stride 16: 1242/16 -> 78, 375/16 -> 24 (ceil at each stage).
+	if last.OutW < 75 || last.OutW > 82 || last.OutH < 22 || last.OutH > 26 {
+		t.Fatalf("trunk output dims = %dx%d", last.OutW, last.OutH)
+	}
+	// Pooling rows exist with zero ops.
+	foundPool := false
+	for _, lc := range rep {
+		if lc.Kind == MaxPool {
+			foundPool = true
+			if lc.Ops != 0 {
+				t.Fatal("pool layer charged ops")
+			}
+		}
+	}
+	if !foundPool {
+		t.Fatal("stem pool missing from report")
+	}
+}
+
+func TestWriteReportRenders(t *testing.T) {
+	b := BuildVGG16()
+	var buf bytes.Buffer
+	b.Trunk.WriteReport(&buf, 224, 224)
+	s := buf.String()
+	if !strings.Contains(s, "conv1_1") || !strings.Contains(s, "total") {
+		t.Fatalf("report missing content:\n%s", s)
+	}
+}

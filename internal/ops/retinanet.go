@@ -1,0 +1,84 @@
+package ops
+
+// RetinaNet is the cost model for the one-shot detector of the paper's
+// Appendix II. Unlike Faster R-CNN it has no per-proposal head: the whole
+// network (backbone, feature pyramid, classification and box subnets) is
+// fully convolutional, so under selected-region inference *all* of its
+// operations scale with the covered area ("RetinaNet only operates at the
+// regions of interest ... reduces the number of operations for both
+// Feature Pyramid Network and Classifier Subnets").
+type RetinaNet struct {
+	Backbone Backbone
+	scale    float64
+}
+
+// NewRetinaNet builds an uncalibrated RetinaNet cost model.
+func NewRetinaNet(b Backbone) *RetinaNet {
+	return &RetinaNet{Backbone: b, scale: 1}
+}
+
+// fpnAndSubnets returns the FPN lateral/output convs plus the class and
+// box subnets evaluated over the pyramid levels P3..P7. Costs are
+// expressed per level and summed with the appropriate strides.
+func (m *RetinaNet) fpnAndSubnets(w, h int) float64 {
+	const fpnCh = 256
+	// Subnets: 4 3x3x256 convs plus a prediction conv, run on every
+	// pyramid level, twice (classification and regression).
+	subnet := Net{Name: "subnet", Layers: []Layer{
+		{Kind: Conv, Kernel: 3, Stride: 1, InCh: fpnCh, OutCh: fpnCh},
+		{Kind: Conv, Kernel: 3, Stride: 1, InCh: fpnCh, OutCh: fpnCh},
+		{Kind: Conv, Kernel: 3, Stride: 1, InCh: fpnCh, OutCh: fpnCh},
+		{Kind: Conv, Kernel: 3, Stride: 1, InCh: fpnCh, OutCh: fpnCh},
+		{Kind: Conv, Kernel: 3, Stride: 1, InCh: fpnCh, OutCh: 9 * 4},
+	}}
+	lateral := Net{Name: "lateral", Layers: []Layer{
+		{Kind: Conv, Kernel: 1, Stride: 1, InCh: 1024, OutCh: fpnCh},
+		{Kind: Conv, Kernel: 3, Stride: 1, InCh: fpnCh, OutCh: fpnCh},
+	}}
+	total := 0.0
+	for _, stride := range []int{8, 16, 32, 64, 128} {
+		lw, lh := (w+stride-1)/stride, (h+stride-1)/stride
+		total += lateral.Ops(lw, lh) + 2*subnet.Ops(lw, lh)
+	}
+	return total
+}
+
+// backboneOps runs the full backbone (trunk and final stage) over the
+// image; RetinaNet keeps conv5 in the image pass because the FPN taps it.
+func (m *RetinaNet) backboneOps(w, h int) float64 {
+	trunk := m.Backbone.Trunk.Ops(w, h)
+	stride := m.Backbone.Trunk.OutputStride()
+	head := m.Backbone.Head.Ops((w+stride-1)/stride, (h+stride-1)/stride)
+	return trunk + head
+}
+
+// FullFrameOps returns calibrated full-frame operations.
+func (m *RetinaNet) FullFrameOps(w, h int) float64 {
+	return (m.backboneOps(w, h) + m.fpnAndSubnets(w, h)) * m.scale
+}
+
+// RegionOps returns calibrated operations when the network only computes
+// over the covered fraction of the frame. The nProposals argument exists
+// so RetinaNet satisfies the same interface as FasterRCNN but has no
+// effect: one-shot detectors have no proposal-dependent cost.
+func (m *RetinaNet) RegionOps(w, h int, coveredFrac float64, nProposals int) float64 {
+	if coveredFrac < 0 {
+		coveredFrac = 0
+	}
+	if coveredFrac > 1 {
+		coveredFrac = 1
+	}
+	return m.FullFrameOps(w, h) * coveredFrac
+}
+
+// Calibrate fits the uniform scale to the first anchor.
+func (m *RetinaNet) Calibrate(anchors []OpsAnchor) {
+	m.scale = 1
+	if len(anchors) == 0 {
+		return
+	}
+	analytic := m.FullFrameOps(anchors[0].W, anchors[0].H)
+	if analytic > 0 {
+		m.scale = anchors[0].Ops / analytic
+	}
+}

@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"text/tabwriter"
+
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+)
+
+func newTab(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+}
+
+func fmtDelay(d float64) string {
+	if math.IsNaN(d) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1f", d)
+}
+
+// WriteTable1 renders Table 1.
+func WriteTable1(w io.Writer, rows []Table1Row) {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "model\tconv1\tblock1\tblock2\tblock3\tblock4\trepeats\tops(G)")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\tx%d\t%.1f\n",
+			r.Spec.Name, r.Spec.Conv1, r.Spec.Blocks[0], r.Spec.Blocks[1],
+			r.Spec.Blocks[2], r.Spec.Blocks[3], r.Spec.Repeats, r.Gops)
+	}
+	tw.Flush()
+}
+
+// WriteTable2 renders Table 2.
+func WriteTable2(w io.Writer, rows []MainRow) {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "System\tops(G)\tmAP(Mod)\tmAP(Hard)\tmD@0.8(Mod)\tmD@0.8(Hard)")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.1f\t%.3f\t%.3f\t%s\t%s\n",
+			r.System, r.Gops, r.MAPModerate, r.MAPHard,
+			fmtDelay(r.MD08Moderate), fmtDelay(r.MD08Hard))
+	}
+	tw.Flush()
+}
+
+// WriteTable3 renders Table 3.
+func WriteTable3(w io.Writer, rows []BreakdownRow) {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "System\tTotal\tProposal\tRefinement\tFromTracker\tFromProposal")
+	for _, r := range rows {
+		ft, fp := "/", "/"
+		if r.FromTracker > 0 {
+			ft = fmt.Sprintf("%.1f", r.FromTracker)
+		}
+		if r.FromTracker > 0 { // CaTDet rows report both shares
+			fp = fmt.Sprintf("%.1f", r.FromProposal)
+		}
+		fmt.Fprintf(tw, "%s\t%.1f\t%.1f\t%.1f\t%s\t%s\n",
+			r.System, r.Total, r.Proposal, r.Refinement, ft, fp)
+	}
+	tw.Flush()
+}
+
+// WriteStudy renders Table 4, 5 or 8.
+func WriteStudy(w io.Writer, rows []StudyRow) {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Model\tSetting\tmAP\tmD@0.8\tops(G)")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%.3f\t%s\t%.1f\n", r.Model, r.Setting, r.MAP, fmtDelay(r.MD08), r.Gops)
+	}
+	tw.Flush()
+}
+
+// WriteTable6 renders Table 6.
+func WriteTable6(w io.Writer, rows []CityRow) {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "System\tmAP\tops(G)")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.3f\t%.1f\n", r.System, r.MAP, r.Gops)
+	}
+	tw.Flush()
+}
+
+// WriteTable7 renders Table 7.
+func WriteTable7(w io.Writer, rows []TimingRow) {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "System\tTotal(s)\tGPU-only(s)\tlaunches/frame")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%.1f\n", r.System, r.Total, r.GPUOnly, r.AvgLaunches)
+	}
+	tw.Flush()
+}
+
+// WriteFigure6 renders the Figure 6 sweep as a table of series.
+func WriteFigure6(w io.Writer, pts []SweepPoint) {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Model\tTracker\tC-thresh\tmAP\tmD@0.8\tops(G)")
+	for _, p := range pts {
+		tr := "w/"
+		if !p.Tracker {
+			tr = "w/o"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%.2f\t%.3f\t%s\t%.1f\n", p.Model, tr, p.CThresh, p.MAP, fmtDelay(p.MD08), p.Gops)
+	}
+	tw.Flush()
+}
+
+// WriteFigure7 renders the per-class precision/recall/delay curves.
+func WriteFigure7(w io.Writer, curves map[dataset.Class][]metrics.CurvePoint, classes []dataset.Class) {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Class\tPrecision\tRecall\tDelay")
+	for _, c := range classes {
+		for _, p := range curves[c] {
+			fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%.1f\n", c, p.Precision, p.Recall, p.Delay)
+		}
+	}
+	tw.Flush()
+}

@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/video"
+)
+
+func TestRunAllReportAndShapeCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full report is slow")
+	}
+	kp := video.KITTIPreset()
+	kp.NumSequences = 3
+	kp.FramesPerSeq = 220
+	kitti := video.Generate(kp, 1)
+	cp := video.CityPersonsPreset()
+	cp.NumSequences = 40
+	city := video.Generate(cp, 1)
+
+	rep := RunAll(kitti, city, 1)
+	if len(rep.Table1) != 4 || len(rep.Table2) != 5 || len(rep.Table6) != 5 {
+		t.Fatalf("report incomplete: %d/%d/%d", len(rep.Table1), len(rep.Table2), len(rep.Table6))
+	}
+	if violations := rep.ShapeCheck(); len(violations) != 0 {
+		t.Fatalf("shape check failed:\n%v", violations)
+	}
+
+	// JSON round trip.
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.KITTIFrames != rep.KITTIFrames || len(got.Figure6) != len(rep.Figure6) {
+		t.Fatal("report round trip mismatch")
+	}
+	if len(got.Figure7) == 0 {
+		t.Fatal("figure7 curves lost in round trip")
+	}
+}
+
+func TestShapeCheckCatchesViolations(t *testing.T) {
+	rep := &Report{
+		Table2: []MainRow{
+			{System: "single", Gops: 254, MAPHard: 0.75},
+			{System: "casc", Gops: 46, MAPHard: 0.80}, // cascade above CaTDet: violation
+			{System: "cat", Gops: 54, MAPHard: 0.60},  // CaTDet far below single: violation
+			{System: "casc10b", Gops: 33, MAPHard: 0.70},
+			{System: "cat10b", Gops: 41, MAPHard: 0.77},
+		},
+	}
+	violations := rep.ShapeCheck()
+	if len(violations) < 2 {
+		t.Fatalf("expected >= 2 violations, got %v", violations)
+	}
+}
+
+func TestLoadReportRejectsGarbage(t *testing.T) {
+	if _, err := LoadReport(bytes.NewBufferString("not json")); err == nil {
+		t.Fatal("expected decode error")
+	}
+}

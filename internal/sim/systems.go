@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/detector"
+)
+
+// SystemKind enumerates the three architectures of Figure 1.
+type SystemKind string
+
+// The three system kinds.
+const (
+	Single   SystemKind = "single"
+	Cascaded SystemKind = "cascaded"
+	CaTDet   SystemKind = "catdet"
+)
+
+// SystemSpec names a system to build: the architecture, the models and
+// the cascade configuration.
+type SystemSpec struct {
+	Kind       SystemKind
+	Proposal   string // zoo model name; unused for Single
+	Refinement string // zoo model name (the only model for Single)
+	Cfg        core.Config
+}
+
+// Build constructs the system, wiring the dataset's class vocabulary
+// into the detectors' false-positive process.
+func (s SystemSpec) Build(classes []dataset.Class) (core.System, error) {
+	newDet := func(name string) (*detector.Detector, error) {
+		d, err := detector.New(name)
+		if err != nil {
+			return nil, err
+		}
+		d.Classes = classes
+		return d, nil
+	}
+	ref, err := newDet(s.Refinement)
+	if err != nil {
+		return nil, err
+	}
+	switch s.Kind {
+	case Single:
+		return core.NewSingleModel(ref), nil
+	case Cascaded, CaTDet:
+		prop, err := newDet(s.Proposal)
+		if err != nil {
+			return nil, err
+		}
+		if s.Kind == Cascaded {
+			return core.NewCascaded(prop, ref, s.Cfg), nil
+		}
+		return core.NewCaTDet(prop, ref, s.Cfg), nil
+	default:
+		return nil, fmt.Errorf("sim: unknown system kind %q", s.Kind)
+	}
+}
+
+// MustBuild is Build for static specs; it panics on error.
+func (s SystemSpec) MustBuild(classes []dataset.Class) core.System {
+	sys, err := s.Build(classes)
+	if err != nil {
+		panic(err)
+	}
+	return sys
+}

@@ -1,0 +1,57 @@
+package tracker
+
+import "repro/internal/geom"
+
+// Tracklet is a tracked object's recorded trajectory. The paper notes
+// that "tracking algorithms usually output tracked sequences of
+// detected objects, and the predicted locations are intermediate
+// results" — CaTDet inverts that, but the tracklets are still useful
+// byproducts (for visualization, downstream analytics, or MOT-style
+// evaluation), so the tracker can record them on request.
+type Tracklet struct {
+	ID    int
+	Class int
+	// Frames[i] is the frame counter (number of Observe calls at
+	// record time, 0-based) of Boxes[i]. Only matched frames are
+	// recorded; coasted (missed) frames leave gaps.
+	Frames []int
+	Boxes  []geom.Box
+}
+
+// Len returns the number of recorded observations.
+func (t *Tracklet) Len() int { return len(t.Frames) }
+
+// EnableTracklets turns on trajectory recording. Call before the first
+// Observe. Recording survives Reset (which clears recorded data).
+func (t *Tracker) EnableTracklets() { t.recordTracklets = true }
+
+// Tracklets returns the recorded trajectories of all tracks — finished
+// and live — with at least minLength observations, in creation order.
+func (t *Tracker) Tracklets(minLength int) []Tracklet {
+	var out []Tracklet
+	for _, id := range t.trackletOrder {
+		tl := t.tracklets[id]
+		if tl.Len() >= minLength {
+			out = append(out, *tl)
+		}
+	}
+	return out
+}
+
+// recordMatch appends a matched observation to the track's tracklet.
+func (t *Tracker) recordMatch(tr *Track, box geom.Box) {
+	if !t.recordTracklets {
+		return
+	}
+	if t.tracklets == nil {
+		t.tracklets = map[int]*Tracklet{}
+	}
+	tl, ok := t.tracklets[tr.ID]
+	if !ok {
+		tl = &Tracklet{ID: tr.ID, Class: tr.Class}
+		t.tracklets[tr.ID] = tl
+		t.trackletOrder = append(t.trackletOrder, tr.ID)
+	}
+	tl.Frames = append(tl.Frames, t.frameCounter)
+	tl.Boxes = append(tl.Boxes, box)
+}

@@ -1,0 +1,123 @@
+package tracker
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/video"
+)
+
+func TestTrackletsDisabledByDefault(t *testing.T) {
+	tr := New(DefaultConfig(), 1242, 375)
+	tr.Observe([]geom.Scored{det(100, 100, 40, 30, 0)})
+	tr.Observe([]geom.Scored{det(105, 100, 40, 30, 0)})
+	if got := tr.Tracklets(0); got != nil {
+		t.Fatalf("tracklets recorded without EnableTracklets: %v", got)
+	}
+}
+
+func TestTrackletRecordsTrajectory(t *testing.T) {
+	tr := New(DefaultConfig(), 1242, 375)
+	tr.EnableTracklets()
+	for i := 0; i < 5; i++ {
+		tr.Observe([]geom.Scored{det(100+float64(i)*10, 100, 40, 30, 0)})
+	}
+	tls := tr.Tracklets(1)
+	if len(tls) != 1 {
+		t.Fatalf("tracklets = %d, want 1", len(tls))
+	}
+	tl := tls[0]
+	if tl.Len() != 5 {
+		t.Fatalf("observations = %d, want 5", tl.Len())
+	}
+	for i := 1; i < tl.Len(); i++ {
+		if tl.Frames[i] != tl.Frames[i-1]+1 {
+			t.Fatalf("frames not consecutive: %v", tl.Frames)
+		}
+		cx0, _ := tl.Boxes[i-1].Center()
+		cx1, _ := tl.Boxes[i].Center()
+		if cx1 <= cx0 {
+			t.Fatalf("trajectory not moving right: %v -> %v", cx0, cx1)
+		}
+	}
+}
+
+func TestTrackletGapsOnMiss(t *testing.T) {
+	tr := New(DefaultConfig(), 1242, 375)
+	tr.EnableTracklets()
+	tr.Observe([]geom.Scored{det(100, 100, 40, 30, 0)})
+	tr.Observe([]geom.Scored{det(105, 100, 40, 30, 0)})
+	tr.Observe([]geom.Scored{det(110, 100, 40, 30, 0)})
+	tr.Observe(nil) // miss
+	tr.Observe([]geom.Scored{det(120, 100, 40, 30, 0)})
+	tls := tr.Tracklets(1)
+	if len(tls) != 1 {
+		t.Fatalf("tracklets = %d, want 1 (re-acquired)", len(tls))
+	}
+	frames := tls[0].Frames
+	want := []int{0, 1, 2, 4}
+	if len(frames) != len(want) {
+		t.Fatalf("frames = %v, want %v", frames, want)
+	}
+	for i := range want {
+		if frames[i] != want[i] {
+			t.Fatalf("frames = %v, want %v", frames, want)
+		}
+	}
+}
+
+func TestTrackletsMinLengthFilter(t *testing.T) {
+	tr := New(DefaultConfig(), 1242, 375)
+	tr.EnableTracklets()
+	// A persistent object and a one-frame blip.
+	tr.Observe([]geom.Scored{det(100, 100, 40, 30, 0), det(800, 200, 30, 30, 1)})
+	tr.Observe([]geom.Scored{det(105, 100, 40, 30, 0)})
+	tr.Observe([]geom.Scored{det(110, 100, 40, 30, 0)})
+	if got := len(tr.Tracklets(2)); got != 1 {
+		t.Fatalf("min-length filter kept %d, want 1", got)
+	}
+	if got := len(tr.Tracklets(1)); got != 2 {
+		t.Fatalf("unfiltered = %d, want 2", got)
+	}
+}
+
+func TestTrackletsClearedOnReset(t *testing.T) {
+	tr := New(DefaultConfig(), 1242, 375)
+	tr.EnableTracklets()
+	tr.Observe([]geom.Scored{det(100, 100, 40, 30, 0)})
+	tr.Reset()
+	if got := tr.Tracklets(0); got != nil {
+		t.Fatalf("tracklets survived Reset: %v", got)
+	}
+	// Recording remains enabled after Reset.
+	tr.Observe([]geom.Scored{det(100, 100, 40, 30, 0)})
+	if got := len(tr.Tracklets(1)); got != 1 {
+		t.Fatalf("recording disabled by Reset")
+	}
+}
+
+// Feeding ground truth from the synthetic world, tracklet identities
+// should be stable: the number of tracklets should be comparable to
+// the number of ground-truth tracks, not explode with fragmentation.
+func TestTrackletFragmentationBounded(t *testing.T) {
+	p := video.MiniKITTIPreset()
+	d := video.Generate(p, 5)
+	seq := &d.Sequences[0]
+	tr := New(DefaultConfig(), float64(seq.Width), float64(seq.Height))
+	tr.EnableTracklets()
+	for fi := range seq.Frames {
+		var dets []geom.Scored
+		for _, o := range seq.Frames[fi].Objects {
+			dets = append(dets, geom.Scored{Box: o.Box, Score: 1, Class: int(o.Class)})
+		}
+		tr.Observe(dets)
+	}
+	gtTracks := len(seq.Tracks())
+	got := len(tr.Tracklets(2))
+	if got > 2*gtTracks {
+		t.Fatalf("%d tracklets for %d ground-truth tracks: heavy fragmentation", got, gtTracks)
+	}
+	if got == 0 {
+		t.Fatal("no tracklets recorded")
+	}
+}

@@ -1,0 +1,100 @@
+package video
+
+import "repro/internal/dataset"
+
+// KITTIPreset mirrors the KITTI tracking benchmark used by the paper:
+// 21 sequences, ~8000 frames total at 10 fps and 1242x375, with Car and
+// Pedestrian classes densely labeled. Cars dominate, pedestrians are
+// smaller and harder (Section 6.1, Figure 7 discussion).
+func KITTIPreset() Preset {
+	return Preset{
+		Name:         "kitti-sim",
+		Width:        1242,
+		Height:       375,
+		FPS:          10,
+		NumSequences: 21,
+		FramesPerSeq: 381, // 21 * 381 = 8001 ~ "8008 frames"
+		LabelEvery:   1,
+		EgoDrift:     2.0,
+		HorizonY:     0.45,
+		Classes: []ClassSpec{
+			{
+				Class:            dataset.Car,
+				SpawnRate:        0.042,
+				MinWidth:         15,
+				MaxWidth:         150,
+				Aspect:           0.62,
+				AspectJitter:     0.08,
+				SpeedStd:         2.2,
+				GrowthMean:       0.020,
+				GrowthStd:        0.012,
+				MeanLife:         85,
+				OcclusionRate:    0.028,
+				OcclusionMeanLen: 10,
+				HeavyOcclusionP:  0.45,
+			},
+			{
+				Class:            dataset.Pedestrian,
+				SpawnRate:        0.024,
+				MinWidth:         8,
+				MaxWidth:         48,
+				Aspect:           2.4,
+				AspectJitter:     0.25,
+				SpeedStd:         1.1,
+				GrowthMean:       0.013,
+				GrowthStd:        0.010,
+				MeanLife:         100,
+				OcclusionRate:    0.032,
+				OcclusionMeanLen: 9,
+				HeavyOcclusionP:  0.50,
+			},
+		},
+	}
+}
+
+// CityPersonsPreset mirrors CityPersons: 2048x1024 at 30 fps, Person
+// only, denser and smaller pedestrians with heavier occlusion, organized
+// in 30-frame snippets with only the 20th frame labeled (Section 7.1).
+// The detection system runs on every frame; only labeled frames are
+// evaluated, and delay cannot be measured.
+func CityPersonsPreset() Preset {
+	return Preset{
+		Name:         "citypersons-sim",
+		Width:        2048,
+		Height:       1024,
+		FPS:          30,
+		NumSequences: 120,
+		FramesPerSeq: 30,
+		LabelEvery:   30,
+		LabelOffset:  19, // the 20th frame
+		EgoDrift:     1.2,
+		HorizonY:     0.48,
+		Classes: []ClassSpec{
+			{
+				Class:            dataset.Pedestrian,
+				SpawnRate:        0.11,
+				MinWidth:         11,
+				MaxWidth:         110,
+				Aspect:           2.45,
+				AspectJitter:     0.3,
+				SpeedStd:         1.6,
+				GrowthMean:       0.010,
+				GrowthStd:        0.010,
+				MeanLife:         75,
+				OcclusionRate:    0.040,
+				OcclusionMeanLen: 10,
+				HeavyOcclusionP:  0.50,
+			},
+		},
+	}
+}
+
+// MiniKITTIPreset is a scaled-down KITTI world for fast unit tests and
+// the quickstart example: same statistics, 3 sequences of 120 frames.
+func MiniKITTIPreset() Preset {
+	p := KITTIPreset()
+	p.Name = "kitti-mini"
+	p.NumSequences = 3
+	p.FramesPerSeq = 120
+	return p
+}
