@@ -9,6 +9,7 @@ package catdet
 // cmd/experiments.
 
 import (
+	"fmt"
 	"math"
 	"sync"
 	"testing"
@@ -208,6 +209,53 @@ func BenchmarkTrackerThroughput(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(processed)/b.Elapsed().Seconds(), "frames/s")
+}
+
+// --- Engine benches: serial loop vs sharded parallel runner ---
+
+// engineBenchSpec is the (Res10a, Res50) CaTDet system every runner
+// bench uses, so serial and parallel numbers are directly comparable.
+func engineBenchSpec() sim.SystemSpec {
+	return sim.SystemSpec{Kind: sim.CaTDet, Proposal: "resnet10a", Refinement: "resnet50", Cfg: core.DefaultConfig()}
+}
+
+// BenchmarkRunSerial is the baseline: the single-goroutine sim.Run.
+func BenchmarkRunSerial(b *testing.B) {
+	ds, _ := benchData()
+	spec := engineBenchSpec()
+	for i := 0; i < b.N; i++ {
+		sim.Run(spec.MustBuild(ds.Classes), ds)
+	}
+}
+
+// BenchmarkRunParallel shards the same run across 1, 2 and 4 workers;
+// compare ns/op against BenchmarkRunSerial for the engine speedup.
+func BenchmarkRunParallel(b *testing.B) {
+	ds, _ := benchData()
+	spec := engineBenchSpec()
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.RunParallel(spec.Factory(ds.Classes), ds, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineTable2 measures a whole table regeneration at several
+// worker counts (the workload of cmd/experiments -workers N).
+func BenchmarkEngineTable2(b *testing.B) {
+	ds, _ := benchData()
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			eng := sim.Engine{Workers: w}
+			for i := 0; i < b.N; i++ {
+				eng.Table2(ds)
+			}
+		})
+	}
 }
 
 // --- Ablation benches (design choices from DESIGN.md §4) ---

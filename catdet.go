@@ -60,6 +60,11 @@ type (
 	SystemKind = sim.SystemKind
 	// RunResult is the outcome of running a system over a dataset.
 	RunResult = sim.RunResult
+	// Engine runs experiments sharded per sequence across a worker
+	// pool; the zero value uses GOMAXPROCS workers.
+	Engine = sim.Engine
+	// SystemFactory builds a fresh System per worker for RunParallel.
+	SystemFactory = sim.SystemFactory
 	// Evaluation bundles mAP and mean-Delay results.
 	Evaluation = sim.Evaluation
 	// TrackerConfig holds the SORT-style tracker parameters.
@@ -130,6 +135,13 @@ func GenerateKITTI(seed int64) *Dataset { return video.Generate(video.KITTIPrese
 
 // Run executes a system over a dataset sequence by sequence.
 func Run(sys System, ds *Dataset) *RunResult { return sim.Run(sys, ds) }
+
+// RunParallel executes the spec over the dataset sharded across workers
+// (0 = GOMAXPROCS). Each worker owns a private system instance; the
+// merged result is byte-identical to Run for any worker count.
+func RunParallel(spec SystemSpec, ds *Dataset, workers int) (*RunResult, error) {
+	return sim.RunParallel(spec.Factory(ds.Classes), ds, workers)
+}
 
 // Evaluate computes mAP and (for densely labeled datasets) mD@beta.
 func Evaluate(ds *Dataset, r *RunResult, diff Difficulty, beta float64) Evaluation {

@@ -72,6 +72,7 @@ func main() {
 	diffName := flag.String("difficulty", "hard", "evaluation difficulty: easy | moderate | hard")
 	beta := flag.Float64("beta", 0.8, "precision level for the delay metric (mD@beta)")
 	inspect := flag.String("inspect", "", "print a per-layer ops report for a backbone (resnet18|resnet10a|resnet10b|resnet10c|resnet50|vgg16) and exit")
+	workers := flag.Int("workers", 0, "sequence-shard worker count (0 = GOMAXPROCS); results are identical for any value")
 	flag.Parse()
 
 	if *inspect != "" {
@@ -128,16 +129,14 @@ func main() {
 		Refinement: *refinement,
 		Cfg:        cfg,
 	}
-	sys, err := spec.Build(ds.Classes)
+	fmt.Fprintf(os.Stderr, "running %s on %s (%d frames)...\n", spec.Kind, ds.Name, ds.NumFrames())
+	r, err := sim.RunParallel(spec.Factory(ds.Classes), ds, *workers)
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	fmt.Fprintf(os.Stderr, "running %s on %s (%d frames)...\n", sys.Name(), ds.Name, ds.NumFrames())
-	r := sim.Run(sys, ds)
 	ev := sim.Evaluate(ds, r, diff, *beta)
 
-	fmt.Printf("system:        %s\n", sys.Name())
+	fmt.Printf("system:        %s\n", r.SystemName)
 	fmt.Printf("dataset:       %s (%d frames, %d labeled)\n", ds.Name, ds.NumFrames(), ds.NumLabeledFrames())
 	fmt.Printf("difficulty:    %s\n", diff)
 	fmt.Printf("ops/frame:     %.1f Gops\n", r.AvgGops())

@@ -7,6 +7,7 @@
 //	experiments -table 2        # one table (1-8)
 //	experiments -figure 6       # one figure (6 or 7)
 //	experiments -seqs 8         # reduced dataset for a quick look
+//	experiments -workers 8      # shard runs across 8 workers (same output)
 package main
 
 import (
@@ -28,7 +29,10 @@ func main() {
 	seed := flag.Int64("seed", 1, "world seed")
 	ablations := flag.Bool("ablations", false, "also run the tracker design ablations")
 	jsonOut := flag.String("json", "", "write the full machine-readable report (all tables and figures) to this path and exit")
+	workers := flag.Int("workers", 0, "sequence-shard worker count (0 = GOMAXPROCS); results are identical for any value")
 	flag.Parse()
+
+	eng := sim.Engine{Workers: *workers}
 
 	kittiPreset := video.KITTIPreset()
 	if *seqs > 0 {
@@ -58,7 +62,7 @@ func main() {
 	}
 
 	if *jsonOut != "" {
-		rep := sim.RunAll(needKITTI(), needCity(), *seed)
+		rep := eng.RunAll(needKITTI(), needCity(), *seed)
 		f, err := os.Create(*jsonOut)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -98,53 +102,53 @@ func main() {
 	}
 	if want(2) {
 		section("Table 2: KITTI main results", func() {
-			sim.WriteTable2(os.Stdout, sim.Table2(needKITTI()))
+			sim.WriteTable2(os.Stdout, eng.Table2(needKITTI()))
 		})
 	}
 	if want(3) {
 		section("Table 3: operation break-down (Gops)", func() {
-			sim.WriteTable3(os.Stdout, sim.Table3(needKITTI()))
+			sim.WriteTable3(os.Stdout, eng.Table3(needKITTI()))
 		})
 	}
 	if want(4) {
 		section("Table 4: proposal-network study (KITTI Hard, refinement Res50)", func() {
-			sim.WriteStudy(os.Stdout, sim.Table4(needKITTI()))
+			sim.WriteStudy(os.Stdout, eng.Table4(needKITTI()))
 		})
 	}
 	if want(5) {
 		section("Table 5: refinement-network study (KITTI Hard, proposal Res10b)", func() {
-			sim.WriteStudy(os.Stdout, sim.Table5(needKITTI()))
+			sim.WriteStudy(os.Stdout, eng.Table5(needKITTI()))
 		})
 	}
 	if want(6) {
 		section("Table 6: CityPersons results", func() {
-			sim.WriteTable6(os.Stdout, sim.Table6(needCity()))
+			sim.WriteTable6(os.Stdout, eng.Table6(needCity()))
 		})
 	}
 	if want(7) {
 		section("Table 7: estimated GPU-platform timing (Appendix I model)", func() {
-			sim.WriteTable7(os.Stdout, sim.Table7(needKITTI()))
+			sim.WriteTable7(os.Stdout, eng.Table7(needKITTI()))
 		})
 	}
 	if want(8) {
 		section("Table 8: RetinaNet-based CaTDet (KITTI Moderate, Appendix II)", func() {
-			sim.WriteStudy(os.Stdout, sim.Table8(needKITTI()))
+			sim.WriteStudy(os.Stdout, eng.Table8(needKITTI()))
 		})
 	}
 	if wantFig(6) {
 		section("Figure 6: mAP and mD@0.8 vs proposal C-thresh, with/without tracker", func() {
-			sim.WriteFigure6(os.Stdout, sim.Figure6(needKITTI(), nil))
+			sim.WriteFigure6(os.Stdout, eng.Figure6(needKITTI(), nil))
 		})
 	}
 	if wantFig(7) {
 		section("Figure 7: recall & delay vs precision, per class", func() {
 			ds := needKITTI()
-			sim.WriteFigure7(os.Stdout, sim.Figure7(ds), ds.Classes)
+			sim.WriteFigure7(os.Stdout, eng.Figure7(ds), ds.Classes)
 		})
 	}
 	if *ablations {
 		section("Ablations: tracker design choices (not in the paper's tables)", func() {
-			sim.WriteAblations(os.Stdout, sim.Ablations(needKITTI()))
+			sim.WriteAblations(os.Stdout, eng.Ablations(needKITTI()))
 		})
 	}
 }

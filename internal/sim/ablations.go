@@ -26,7 +26,11 @@ type AblationRow struct {
 //   - adaptive match/miss confidence vs fixed-age track retention;
 //   - prediction workload filters (min width, boundary chop) on vs off;
 //   - per-class vs class-agnostic association.
-func Ablations(ds *dataset.Dataset) []AblationRow {
+func Ablations(ds *dataset.Dataset) []AblationRow { return DefaultEngine.Ablations(ds) }
+
+// Ablations evaluates the tracker design variants on this engine's
+// worker pool.
+func (e Engine) Ablations(ds *dataset.Dataset) []AblationRow {
 	variant := func(name string, mutate func(*tracker.Config)) AblationRow {
 		tcfg := tracker.DefaultConfig()
 		if mutate != nil {
@@ -34,8 +38,7 @@ func Ablations(ds *dataset.Dataset) []AblationRow {
 		}
 		cfg := core.DefaultConfig()
 		cfg.Tracker = &tcfg
-		sys := SystemSpec{Kind: CaTDet, Proposal: "resnet10a", Refinement: "resnet50", Cfg: cfg}.MustBuild(ds.Classes)
-		r := Run(sys, ds)
+		r := e.MustRun(SystemSpec{Kind: CaTDet, Proposal: "resnet10a", Refinement: "resnet50", Cfg: cfg}, ds)
 		ev := Evaluate(ds, r, dataset.Hard, Beta)
 		return AblationRow{Variant: name, MAPHard: ev.MAP, MD08: ev.MeanDelay, Gops: r.AvgGops()}
 	}

@@ -32,28 +32,34 @@ type Report struct {
 	Figure7 map[string][]metrics.CurvePoint `json:"figure7"`
 }
 
-// RunAll regenerates every table and figure. city may be nil to skip
-// the CityPersons experiments.
+// RunAll regenerates every table and figure on the default engine.
+// city may be nil to skip the CityPersons experiments.
 func RunAll(kitti, city *dataset.Dataset, seed int64) *Report {
+	return DefaultEngine.RunAll(kitti, city, seed)
+}
+
+// RunAll regenerates every table and figure on this engine's worker
+// pool. city may be nil to skip the CityPersons experiments.
+func (e Engine) RunAll(kitti, city *dataset.Dataset, seed int64) *Report {
 	r := &Report{
 		Seed:        seed,
 		KITTIName:   kitti.Name,
 		KITTIFrames: kitti.NumFrames(),
 		Table1:      Table1(),
-		Table2:      Table2(kitti),
-		Table3:      Table3(kitti),
-		Table4:      Table4(kitti),
-		Table5:      Table5(kitti),
-		Table7:      Table7(kitti),
-		Table8:      Table8(kitti),
-		Figure6:     Figure6(kitti, nil),
+		Table2:      e.Table2(kitti),
+		Table3:      e.Table3(kitti),
+		Table4:      e.Table4(kitti),
+		Table5:      e.Table5(kitti),
+		Table7:      e.Table7(kitti),
+		Table8:      e.Table8(kitti),
+		Figure6:     e.Figure6(kitti, nil),
 	}
 	if city != nil {
 		r.CityName = city.Name
 		r.CityFrames = city.NumFrames()
-		r.Table6 = Table6(city)
+		r.Table6 = e.Table6(city)
 	}
-	curves := Figure7(kitti)
+	curves := e.Figure7(kitti)
 	r.Figure7 = map[string][]metrics.CurvePoint{}
 	for c, pts := range curves {
 		r.Figure7[c.String()] = pts

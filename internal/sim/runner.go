@@ -9,8 +9,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
-	"repro/internal/detector"
-	"repro/internal/geom"
 	"repro/internal/metrics"
 	"repro/internal/ops"
 )
@@ -47,38 +45,15 @@ func (r *RunResult) AvgGops() float64 {
 
 // Run executes the system over every sequence of the dataset, resetting
 // per-sequence state in between (tracker state never crosses clips).
+// It is the serial path of the sharded engine: each sequence is
+// accumulated into its own shard and the shards are merged in dataset
+// order, exactly as RunParallel does, so the two agree bit for bit.
 func Run(sys core.System, ds *dataset.Dataset) *RunResult {
-	res := &RunResult{
-		SystemName: sys.Name(),
-		Dataset:    ds.Name,
-		Detections: metrics.Detections{},
-	}
-	sumProps, sumCover := 0.0, 0.0
+	shards := make([]seqShard, len(ds.Sequences))
 	for si := range ds.Sequences {
-		seq := &ds.Sequences[si]
-		sys.Reset(seq)
-		frames := make([][]geom.Scored, len(seq.Frames))
-		for fi := range seq.Frames {
-			out := sys.Step(detector.Frame{
-				SeqID:   seq.ID,
-				Index:   fi,
-				Width:   seq.Width,
-				Height:  seq.Height,
-				Objects: seq.Frames[fi].Objects,
-			})
-			frames[fi] = out.Detections
-			res.TotalOps.Add(out.Ops)
-			res.Frames++
-			sumProps += float64(out.NumProposals)
-			sumCover += out.Coverage
-		}
-		res.Detections[seq.ID] = frames
+		shards[si] = runSequence(sys, &ds.Sequences[si])
 	}
-	if res.Frames > 0 {
-		res.AvgProposals = sumProps / float64(res.Frames)
-		res.AvgCoverage = sumCover / float64(res.Frames)
-	}
-	return res
+	return mergeShards(sys.Name(), ds, shards)
 }
 
 // Evaluation bundles the metric outcomes the tables report.

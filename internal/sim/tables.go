@@ -54,17 +54,19 @@ func table2Specs() []SystemSpec {
 	}
 }
 
+// Table2 runs the five KITTI systems on the default engine.
+func Table2(ds *dataset.Dataset) []MainRow { return DefaultEngine.Table2(ds) }
+
 // Table2 runs the five KITTI systems and reports ops, mAP and mD@0.8 at
 // Moderate and Hard.
-func Table2(ds *dataset.Dataset) []MainRow {
+func (e Engine) Table2(ds *dataset.Dataset) []MainRow {
 	var rows []MainRow
 	for _, spec := range table2Specs() {
-		sys := spec.MustBuild(ds.Classes)
-		r := Run(sys, ds)
+		r := e.MustRun(spec, ds)
 		evM := Evaluate(ds, r, dataset.Moderate, Beta)
 		evH := Evaluate(ds, r, dataset.Hard, Beta)
 		rows = append(rows, MainRow{
-			System:       sys.Name(),
+			System:       r.SystemName,
 			Gops:         r.AvgGops(),
 			MAPModerate:  evM.MAP,
 			MAPHard:      evH.MAP,
@@ -85,16 +87,19 @@ type BreakdownRow struct {
 	FromProposal float64
 }
 
+// Table3 reports the breakdown of the cascade systems on the default
+// engine.
+func Table3(ds *dataset.Dataset) []BreakdownRow { return DefaultEngine.Table3(ds) }
+
 // Table3 reports the per-frame operation breakdown of the four cascade
 // systems of Table 2.
-func Table3(ds *dataset.Dataset) []BreakdownRow {
+func (e Engine) Table3(ds *dataset.Dataset) []BreakdownRow {
 	var rows []BreakdownRow
 	for _, spec := range table2Specs()[1:] {
-		sys := spec.MustBuild(ds.Classes)
-		r := Run(sys, ds)
+		r := e.MustRun(spec, ds)
 		avg := r.AvgOps()
 		rows = append(rows, BreakdownRow{
-			System:       sys.Name(),
+			System:       r.SystemName,
 			Total:        ops.Gops(avg.Total()),
 			Proposal:     ops.Gops(avg.Proposal),
 			Refinement:   ops.Gops(avg.Refinement),
@@ -115,39 +120,41 @@ type StudyRow struct {
 	Gops    float64
 }
 
+// studyRow runs one spec and formats it as a study row at the given
+// difficulty.
+func (e Engine) studyRow(ds *dataset.Dataset, spec SystemSpec, model, setting string, diff dataset.Difficulty) StudyRow {
+	r := e.MustRun(spec, ds)
+	ev := Evaluate(ds, r, diff, Beta)
+	return StudyRow{Model: model, Setting: setting, MAP: ev.MAP, MD08: ev.MeanDelay, Gops: r.AvgGops()}
+}
+
+// Table4 sweeps the proposal network on the default engine.
+func Table4(ds *dataset.Dataset) []StudyRow { return DefaultEngine.Table4(ds) }
+
 // Table4 sweeps the proposal network (refinement fixed to ResNet-50):
 // every model is evaluated as a single Faster R-CNN and as CaTDet's
 // proposal net, at KITTI Hard.
-func Table4(ds *dataset.Dataset) []StudyRow {
+func (e Engine) Table4(ds *dataset.Dataset) []StudyRow {
 	var rows []StudyRow
 	for _, name := range []string{"resnet18", "resnet10a", "resnet10b", "resnet10c"} {
-		single := SystemSpec{Kind: Single, Refinement: name}.MustBuild(ds.Classes)
-		r := Run(single, ds)
-		ev := Evaluate(ds, r, dataset.Hard, Beta)
-		rows = append(rows, StudyRow{Model: name, Setting: "FR-CNN", MAP: ev.MAP, MD08: ev.MeanDelay, Gops: r.AvgGops()})
-
-		cat := SystemSpec{Kind: CaTDet, Proposal: name, Refinement: "resnet50", Cfg: core.DefaultConfig()}.MustBuild(ds.Classes)
-		r = Run(cat, ds)
-		ev = Evaluate(ds, r, dataset.Hard, Beta)
-		rows = append(rows, StudyRow{Model: name, Setting: "CaTDet(P)", MAP: ev.MAP, MD08: ev.MeanDelay, Gops: r.AvgGops()})
+		rows = append(rows,
+			e.studyRow(ds, SystemSpec{Kind: Single, Refinement: name}, name, "FR-CNN", dataset.Hard),
+			e.studyRow(ds, SystemSpec{Kind: CaTDet, Proposal: name, Refinement: "resnet50", Cfg: core.DefaultConfig()}, name, "CaTDet(P)", dataset.Hard))
 	}
 	return rows
 }
 
+// Table5 sweeps the refinement network on the default engine.
+func Table5(ds *dataset.Dataset) []StudyRow { return DefaultEngine.Table5(ds) }
+
 // Table5 sweeps the refinement network (proposal fixed to ResNet-10b)
 // at KITTI Hard.
-func Table5(ds *dataset.Dataset) []StudyRow {
+func (e Engine) Table5(ds *dataset.Dataset) []StudyRow {
 	var rows []StudyRow
 	for _, name := range []string{"resnet18", "resnet50", "vgg16"} {
-		single := SystemSpec{Kind: Single, Refinement: name}.MustBuild(ds.Classes)
-		r := Run(single, ds)
-		ev := Evaluate(ds, r, dataset.Hard, Beta)
-		rows = append(rows, StudyRow{Model: name, Setting: "FR-CNN", MAP: ev.MAP, MD08: ev.MeanDelay, Gops: r.AvgGops()})
-
-		cat := SystemSpec{Kind: CaTDet, Proposal: "resnet10b", Refinement: name, Cfg: core.DefaultConfig()}.MustBuild(ds.Classes)
-		r = Run(cat, ds)
-		ev = Evaluate(ds, r, dataset.Hard, Beta)
-		rows = append(rows, StudyRow{Model: name, Setting: "CaTDet(R)", MAP: ev.MAP, MD08: ev.MeanDelay, Gops: r.AvgGops()})
+		rows = append(rows,
+			e.studyRow(ds, SystemSpec{Kind: Single, Refinement: name}, name, "FR-CNN", dataset.Hard),
+			e.studyRow(ds, SystemSpec{Kind: CaTDet, Proposal: "resnet10b", Refinement: name, Cfg: core.DefaultConfig()}, name, "CaTDet(R)", dataset.Hard))
 	}
 	return rows
 }
@@ -160,18 +167,20 @@ type CityRow struct {
 	Gops   float64
 }
 
+// Table6 runs the CityPersons experiments on the default engine.
+func Table6(ds *dataset.Dataset) []CityRow { return DefaultEngine.Table6(ds) }
+
 // Table6 runs the Table 2 systems on the CityPersons-sim dataset with
 // identical hyper-parameters ("to ensure that CaTDet systems are robust
 // across different scenarios").
-func Table6(ds *dataset.Dataset) []CityRow {
+func (e Engine) Table6(ds *dataset.Dataset) []CityRow {
 	var rows []CityRow
 	for _, spec := range table2Specs() {
-		sys := spec.MustBuild(ds.Classes)
-		r := Run(sys, ds)
+		r := e.MustRun(spec, ds)
 		// CityPersons is evaluated with the VOC protocol on Person;
 		// the Hard filter admits every reasonably-sized box.
 		ev := Evaluate(ds, r, dataset.Hard, Beta)
-		rows = append(rows, CityRow{System: sys.Name(), MAP: ev.MAP, Gops: r.AvgGops()})
+		rows = append(rows, CityRow{System: r.SystemName, MAP: ev.MAP, Gops: r.AvgGops()})
 	}
 	return rows
 }
@@ -187,10 +196,20 @@ type TimingRow struct {
 	AvgLaunches float64
 }
 
+// Table7 estimates GPU-platform timing on the default engine.
+func Table7(ds *dataset.Dataset) []TimingRow { return DefaultEngine.Table7(ds) }
+
+// timingShard is one sequence's share of the Table 7 accounting.
+type timingShard struct {
+	gpu, total, launches float64
+	frames               int
+}
+
 // Table7 estimates per-frame execution times for the single-model
 // ResNet-50 system and the (Res10a, Res50) CaTDet system using the
-// GPU model with greedy region merging.
-func Table7(ds *dataset.Dataset) []TimingRow {
+// GPU model with greedy region merging. The CaTDet pass is sharded per
+// sequence like every other run.
+func (e Engine) Table7(ds *dataset.Dataset) []TimingRow {
 	gm := gpumodel.Default()
 	refCost := ops.MustCostModel("resnet50")
 
@@ -200,46 +219,58 @@ func Table7(ds *dataset.Dataset) []TimingRow {
 	}}
 
 	spec := SystemSpec{Kind: CaTDet, Proposal: "resnet10a", Refinement: "resnet50", Cfg: core.DefaultConfig()}
-	sys := spec.MustBuild(ds.Classes).(*core.CaTDet)
-	var gpu, total, launches float64
-	frames := 0
-	for si := range ds.Sequences {
-		seq := &ds.Sequences[si]
-		sys.Reset(seq)
-		for fi := range seq.Frames {
-			out := sys.Step(detector.Frame{
-				SeqID: seq.ID, Index: fi, Width: seq.Width, Height: seq.Height,
-				Objects: seq.Frames[fi].Objects,
-			})
-			ft := gm.CaTDetFrame(out.Ops.Proposal, out.Regions,
-				float64(seq.Width), float64(seq.Height), refCost, out.NumProposals)
-			gpu += ft.GPU
-			total += ft.Total
-			launches += float64(ft.Launches)
-			frames++
-		}
+	shards, err := mapSequences(e, ds,
+		func() (*core.CaTDet, error) {
+			sys, err := spec.Build(ds.Classes)
+			if err != nil {
+				return nil, err
+			}
+			return sys.(*core.CaTDet), nil
+		},
+		func(sys *core.CaTDet, seq *dataset.Sequence) timingShard {
+			var sh timingShard
+			sys.Reset(seq)
+			for fi := range seq.Frames {
+				out := sys.Step(detector.Frame{
+					SeqID: seq.ID, Index: fi, Width: seq.Width, Height: seq.Height,
+					Objects: seq.Frames[fi].Objects,
+				})
+				ft := gm.CaTDetFrame(out.Ops.Proposal, out.Regions,
+					float64(seq.Width), float64(seq.Height), refCost, out.NumProposals)
+				sh.gpu += ft.GPU
+				sh.total += ft.Total
+				sh.launches += float64(ft.Launches)
+				sh.frames++
+			}
+			return sh
+		})
+	if err != nil {
+		panic(err)
 	}
-	n := float64(frames)
+	var agg timingShard
+	for _, sh := range shards {
+		agg.gpu += sh.gpu
+		agg.total += sh.total
+		agg.launches += sh.launches
+		agg.frames += sh.frames
+	}
+	n := float64(agg.frames)
 	rows = append(rows, TimingRow{
-		System: "Res10a-Res50 CaTDet", Total: total / n, GPUOnly: gpu / n, AvgLaunches: launches / n,
+		System: "Res10a-Res50 CaTDet", Total: agg.total / n, GPUOnly: agg.gpu / n, AvgLaunches: agg.launches / n,
 	})
 	return rows
 }
 
+// Table8 runs the RetinaNet comparison on the default engine.
+func Table8(ds *dataset.Dataset) []StudyRow { return DefaultEngine.Table8(ds) }
+
 // Table8 compares single-model RetinaNet with RetinaNet-based CaTDet at
 // KITTI Moderate (Appendix II).
-func Table8(ds *dataset.Dataset) []StudyRow {
-	var rows []StudyRow
-	single := SystemSpec{Kind: Single, Refinement: "retinanet-res50"}.MustBuild(ds.Classes)
-	r := Run(single, ds)
-	ev := Evaluate(ds, r, dataset.Moderate, Beta)
-	rows = append(rows, StudyRow{Model: "retinanet-res50", Setting: "single", MAP: ev.MAP, MD08: ev.MeanDelay, Gops: r.AvgGops()})
-
-	cat := SystemSpec{Kind: CaTDet, Proposal: "resnet10a", Refinement: "retinanet-res50", Cfg: core.DefaultConfig()}.MustBuild(ds.Classes)
-	r = Run(cat, ds)
-	ev = Evaluate(ds, r, dataset.Moderate, Beta)
-	rows = append(rows, StudyRow{Model: "retinanet-res50", Setting: "CaTDet", MAP: ev.MAP, MD08: ev.MeanDelay, Gops: r.AvgGops()})
-	return rows
+func (e Engine) Table8(ds *dataset.Dataset) []StudyRow {
+	return []StudyRow{
+		e.studyRow(ds, SystemSpec{Kind: Single, Refinement: "retinanet-res50"}, "retinanet-res50", "single", dataset.Moderate),
+		e.studyRow(ds, SystemSpec{Kind: CaTDet, Proposal: "resnet10a", Refinement: "retinanet-res50", Cfg: core.DefaultConfig()}, "retinanet-res50", "CaTDet", dataset.Moderate),
+	}
 }
 
 // SweepPoint is one point of Figure 6: one proposal network, with or
@@ -256,10 +287,15 @@ type SweepPoint struct {
 // Figure6CThresh is the paper's sweep grid.
 var Figure6CThresh = []float64{0.01, 0.02, 0.05, 0.1, 0.2, 0.4, 0.6}
 
+// Figure6 runs the C-thresh sweep on the default engine.
+func Figure6(ds *dataset.Dataset, cthreshs []float64) []SweepPoint {
+	return DefaultEngine.Figure6(ds, cthreshs)
+}
+
 // Figure6 sweeps the proposal network's output threshold for three
 // proposal nets, with and without the tracker (KITTI Hard, refinement
 // ResNet-50).
-func Figure6(ds *dataset.Dataset, cthreshs []float64) []SweepPoint {
+func (e Engine) Figure6(ds *dataset.Dataset, cthreshs []float64) []SweepPoint {
 	if cthreshs == nil {
 		cthreshs = Figure6CThresh
 	}
@@ -273,8 +309,7 @@ func Figure6(ds *dataset.Dataset, cthreshs []float64) []SweepPoint {
 				if !withTracker {
 					kind = Cascaded
 				}
-				sys := SystemSpec{Kind: kind, Proposal: model, Refinement: "resnet50", Cfg: cfg}.MustBuild(ds.Classes)
-				r := Run(sys, ds)
+				r := e.MustRun(SystemSpec{Kind: kind, Proposal: model, Refinement: "resnet50", Cfg: cfg}, ds)
 				ev := Evaluate(ds, r, dataset.Hard, Beta)
 				pts = append(pts, SweepPoint{
 					Model: model, Tracker: withTracker, CThresh: ct,
@@ -286,11 +321,15 @@ func Figure6(ds *dataset.Dataset, cthreshs []float64) []SweepPoint {
 	return pts
 }
 
+// Figure7 produces the per-class curves on the default engine.
+func Figure7(ds *dataset.Dataset) map[dataset.Class][]metrics.CurvePoint {
+	return DefaultEngine.Figure7(ds)
+}
+
 // Figure7 produces the per-class recall/delay vs precision curves for
 // the (Res10a, Res50) CaTDet system at KITTI Hard.
-func Figure7(ds *dataset.Dataset) map[dataset.Class][]metrics.CurvePoint {
-	sys := SystemSpec{Kind: CaTDet, Proposal: "resnet10a", Refinement: "resnet50", Cfg: core.DefaultConfig()}.MustBuild(ds.Classes)
-	r := Run(sys, ds)
+func (e Engine) Figure7(ds *dataset.Dataset) map[dataset.Class][]metrics.CurvePoint {
+	r := e.MustRun(SystemSpec{Kind: CaTDet, Proposal: "resnet10a", Refinement: "resnet50", Cfg: core.DefaultConfig()}, ds)
 	targets := make([]float64, 0, 26)
 	for p := 0.5; p <= 1.0001; p += 0.02 {
 		targets = append(targets, p)
