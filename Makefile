@@ -1,0 +1,46 @@
+# Single source of truth for local and CI invocations: the workflow in
+# .github/workflows/ci.yml calls these targets, so the two cannot drift.
+
+GO ?= go
+
+# Reduced reproduction pass for `make repro` (full scale: run
+# cmd/experiments with no -seqs overrides).
+REPRO_SEQS      ?= 6
+REPRO_CITY_SEQS ?= 60
+REPRO_OUT       ?= report.json
+BENCH_OUT       ?= bench.txt
+
+.PHONY: all fmt vet build test race bench repro clean
+
+all: fmt vet build test
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of every benchmark: a smoke pass that also emits the
+# headline reproduction metrics (b.ReportMetric) into $(BENCH_OUT).
+bench:
+	@$(GO) test -run '^$$' -bench . -benchtime 1x ./... > $(BENCH_OUT) 2>&1; \
+		st=$$?; cat $(BENCH_OUT); exit $$st
+
+# Reduced experiment pass: regenerates every table and figure, writes
+# the machine-readable report, and exits non-zero on any
+# Report.ShapeCheck violation.
+repro:
+	$(GO) run ./cmd/experiments -seqs $(REPRO_SEQS) -city-seqs $(REPRO_CITY_SEQS) -json $(REPRO_OUT)
+
+clean:
+	rm -f $(REPRO_OUT) $(BENCH_OUT)

@@ -258,6 +258,61 @@ func BenchmarkEngineTable2(b *testing.B) {
 	}
 }
 
+// --- Serving benches: the online layer under moderate and heavy load ---
+
+// serveBenchConfig is a small serving scenario on the mini world.
+func serveBenchConfig() ServeConfig {
+	return ServeConfig{
+		Spec:      engineBenchSpec(),
+		Preset:    MiniKITTIPreset(),
+		Seed:      1,
+		Streams:   4,
+		FPS:       10,
+		Arrivals:  Poisson,
+		Duration:  5,
+		Executors: 2,
+	}
+}
+
+// BenchmarkServeCaTDet measures the event loop end to end and reports
+// the headline serving quantities.
+func BenchmarkServeCaTDet(b *testing.B) {
+	cfg := serveBenchConfig()
+	var res *ServeResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = Serve(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Fleet.Throughput, "served_fps")
+	b.ReportMetric(1000*res.Fleet.Latency.P99, "p99_ms")
+	b.ReportMetric(100*res.Fleet.DropRate, "drop_pct")
+}
+
+// BenchmarkServeOverload measures the drop/degrade path: twice the
+// load on half the executors with every backpressure policy on.
+func BenchmarkServeOverload(b *testing.B) {
+	cfg := serveBenchConfig()
+	cfg.Streams = 8
+	cfg.Executors = 1
+	cfg.QueueCap = 8
+	cfg.MaxStaleness = 0.3
+	cfg.DegradeDepth = 4
+	var res *ServeResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = Serve(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*res.Fleet.DropRate, "drop_pct")
+	b.ReportMetric(float64(res.Fleet.Degraded), "degraded_frames")
+	b.ReportMetric(1000*res.Fleet.Latency.P99, "p99_ms")
+}
+
 // --- Ablation benches (design choices from DESIGN.md §4) ---
 
 func ablationRun(b *testing.B, cfg core.Config) (mapHard float64, gops float64) {

@@ -28,6 +28,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/detector"
+	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/tracker"
 	"repro/internal/video"
@@ -147,6 +148,37 @@ func RunParallel(spec SystemSpec, ds *Dataset, workers int) (*RunResult, error) 
 func Evaluate(ds *Dataset, r *RunResult, diff Difficulty, beta float64) Evaluation {
 	return sim.Evaluate(ds, r, diff, beta)
 }
+
+// Online serving layer: a deterministic discrete-event simulation of a
+// fleet serving N concurrent video streams (one private per-stream
+// session each) against GPU executors priced by the Appendix I timing
+// model, with queue-cap / stale-skip / degrade backpressure policies.
+type (
+	// ServeConfig describes one serving scenario (streams, arrival
+	// process, executors, policies).
+	ServeConfig = serve.Config
+	// ServeResult is the scenario outcome: per-stream and fleet
+	// throughput, drop rate and p50/p95/p99 latency.
+	ServeResult = serve.Result
+	// ServeStreamStats is one stream's (or the fleet's) counters.
+	ServeStreamStats = serve.StreamStats
+	// LatencySummary condenses a latency sample set (nearest-rank
+	// percentiles, seconds).
+	LatencySummary = serve.LatencySummary
+)
+
+// Serving arrival processes and drop policies.
+const (
+	FixedFPS   = serve.FixedFPS
+	Poisson    = serve.Poisson
+	DropOldest = serve.DropOldest
+	DropNewest = serve.DropNewest
+)
+
+// Serve runs one online serving scenario on the virtual clock. The
+// same config (seed included) produces a byte-identical result at any
+// executor count and on any machine.
+func Serve(cfg ServeConfig) (*ServeResult, error) { return serve.Run(cfg) }
 
 // LoadDataset reads a dataset from a JSON (optionally .gz) file.
 func LoadDataset(path string) (*Dataset, error) { return dataset.LoadFile(path) }

@@ -36,6 +36,41 @@ func TestFacadeQuickstartPath(t *testing.T) {
 	}
 }
 
+// TestFacadeServePath exercises the online serving layer through the
+// public facade: the result must carry the acceptance quantities
+// (latency percentiles, throughput, drop rate) and stay internally
+// consistent.
+func TestFacadeServePath(t *testing.T) {
+	res, err := Serve(ServeConfig{
+		Spec: SystemSpec{
+			Kind: CaTDet, Proposal: "resnet10a", Refinement: "resnet50", Cfg: DefaultConfig(),
+		},
+		Preset:    MiniKITTIPreset(),
+		Seed:      1,
+		Streams:   3,
+		FPS:       10,
+		Duration:  3,
+		Executors: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := res.Fleet
+	if fl.Served == 0 || fl.Throughput <= 0 {
+		t.Fatalf("fleet served nothing: %+v", fl)
+	}
+	if fl.Served+fl.DroppedQueue+fl.DroppedStale != fl.Arrived {
+		t.Fatalf("frame accounting leak: %+v", fl)
+	}
+	lat := fl.Latency
+	if !(lat.P50 > 0 && lat.P50 <= lat.P95 && lat.P95 <= lat.P99 && lat.P99 <= lat.Max) {
+		t.Fatalf("latency percentiles not ordered: %+v", lat)
+	}
+	if len(res.PerStream) != 3 {
+		t.Fatalf("per-stream rows = %d, want 3", len(res.PerStream))
+	}
+}
+
 func TestFacadeErrorsOnUnknownModel(t *testing.T) {
 	if _, err := NewSystem(SystemSpec{Kind: Single, Refinement: "alexnet"}, nil); err == nil {
 		t.Fatal("expected error")

@@ -1,0 +1,74 @@
+// Serving scenario: the same live multi-stream load offered to a
+// CaTDet fleet and to a single-model Res50 fleet. Offline, Table 7
+// says a CaTDet frame is ~3x cheaper in GPU seconds; online, that
+// margin is the difference between a healthy fleet and a saturated
+// one — cheaper frames drain the shared queue faster, so CaTDet holds
+// latency and drop rate where the single model sheds most of the load.
+package main
+
+import (
+	"fmt"
+
+	catdet "repro"
+)
+
+func report(label string, cfg catdet.ServeConfig) *catdet.ServeResult {
+	res, err := catdet.Serve(cfg)
+	if err != nil {
+		panic(err)
+	}
+	fl := res.Fleet
+	fmt.Printf("%-28s %5d/%-5d %5.1f  %7.1fms %7.1fms %7.1fms  %5.1f\n",
+		label, fl.Served, fl.Arrived, 100*fl.DropRate,
+		1000*fl.Latency.P50, 1000*fl.Latency.P95, 1000*fl.Latency.P99, 100*res.Utilization)
+	return res
+}
+
+func main() {
+	catdetSpec := catdet.SystemSpec{
+		Kind: catdet.CaTDet, Proposal: "resnet10a", Refinement: "resnet50", Cfg: catdet.DefaultConfig(),
+	}
+	singleSpec := catdet.SystemSpec{Kind: catdet.Single, Refinement: "resnet50"}
+
+	load := catdet.ServeConfig{
+		Preset:    catdet.KITTIPreset(),
+		Seed:      1,
+		Streams:   4,
+		FPS:       5,
+		Arrivals:  catdet.Poisson,
+		Duration:  20,
+		Executors: 2,
+		QueueCap:  12,
+	}
+	fmt.Printf("moderate load: %d streams x %.0f fps (%s), %.0fs on %d executors, queue cap %d\n\n",
+		load.Streams, load.FPS, load.Arrivals, load.Duration, load.Executors, load.QueueCap)
+	fmt.Println("system                       served      drop%  p50      p95      p99      util%")
+	cfg := load
+	cfg.Spec = catdetSpec
+	report("catdet (10a+50)", cfg)
+	cfg.Spec = singleSpec
+	report("single res50", cfg)
+
+	// Crank the same fleet past CaTDet's capacity and turn the policy
+	// hooks on: stale frames are skipped at admission and deep queues
+	// shed the refinement pass, which caps the tail latency instead of
+	// letting the queue carry it.
+	heavy := load
+	heavy.Spec = catdetSpec
+	heavy.Streams = 8
+	heavy.FPS = 10
+	fmt.Printf("\nheavy load: %d streams x %.0f fps on the same fleet\n\n", heavy.Streams, heavy.FPS)
+	fmt.Println("system                       served      drop%  p50      p95      p99      util%")
+	report("catdet, no backpressure", heavy)
+	heavy.MaxStaleness = 0.25
+	heavy.DegradeDepth = 8
+	res := report("catdet + stale/degrade", heavy)
+	fmt.Printf("\n(backpressure row: %d frames served proposal-only, %d skipped stale)\n",
+		res.Fleet.Degraded, res.Fleet.DroppedStale)
+
+	fmt.Println("\nsame seed, same arrivals, same worlds — only the system under load")
+	fmt.Println("differs. At moderate load CaTDet's cheaper frames keep the queue")
+	fmt.Println("shallow while the single model saturates both executors and sheds")
+	fmt.Println("most of the offered frames. Past CaTDet's own capacity, the stale-skip")
+	fmt.Println("and degrade-to-proposal-only policies bound the p99 tail.")
+}

@@ -118,6 +118,19 @@ func (m Model) CaTDetFrame(proposalOps float64, regions []geom.Box, frameW, fram
 	}
 }
 
+// ProposalOnlyFrame estimates the frame time of a cascade frame whose
+// refinement pass has been shed (the serving layer's degraded mode
+// under overload): only the proposal network's full-frame launch runs.
+func (m Model) ProposalOnlyFrame(proposalOps float64) FrameTime {
+	gpu := m.LaunchTime(proposalOps)
+	return FrameTime{
+		GPU:            gpu,
+		Total:          gpu + m.CPUOverheadCaTDet,
+		Launches:       1,
+		MergedWorkload: proposalOps,
+	}
+}
+
 // SingleModelFrame estimates the frame time of the single-model system:
 // one full-frame launch.
 func (m Model) SingleModelFrame(fullOps float64) FrameTime {

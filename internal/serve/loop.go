@@ -1,0 +1,335 @@
+package serve
+
+import (
+	"container/heap"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/detector"
+	"repro/internal/gpumodel"
+	"repro/internal/ops"
+	"repro/internal/sim"
+	"repro/internal/video"
+)
+
+// Event kinds. At equal virtual times completions sort before arrivals,
+// so an executor freed at t can serve a frame arriving at t.
+const (
+	evCompletion = iota
+	evArrival
+)
+
+// event is one entry of the virtual-clock agenda. (t, kind, stream,
+// frame) is a total order — a stream never has two events of the same
+// kind for the same frame — so heap order, and with it the whole
+// simulation, is deterministic.
+type event struct {
+	t             float64
+	kind          int
+	stream, frame int
+}
+
+type agenda []event
+
+func (a agenda) Len() int { return len(a) }
+func (a agenda) Less(i, j int) bool {
+	if a[i].t != a[j].t {
+		return a[i].t < a[j].t
+	}
+	if a[i].kind != a[j].kind {
+		return a[i].kind < a[j].kind
+	}
+	if a[i].stream != a[j].stream {
+		return a[i].stream < a[j].stream
+	}
+	return a[i].frame < a[j].frame
+}
+func (a agenda) Swap(i, j int) { a[i], a[j] = a[j], a[i] }
+func (a *agenda) Push(x any)   { *a = append(*a, x.(event)) }
+func (a *agenda) Pop() any     { old := *a; n := len(old); e := old[n-1]; *a = old[:n-1]; return e }
+func (a *agenda) add(e event)  { heap.Push(a, e) }
+func (a *agenda) next() event  { return heap.Pop(a).(event) }
+
+// job is a frame waiting in (or admitted from) the shared queue.
+type job struct {
+	stream, frame int
+	arrive        float64
+}
+
+// streamAcc accumulates one stream's counters during the run.
+type streamAcc struct {
+	arrived, served            int
+	droppedQueue, droppedStale int
+	degraded                   int
+	latencies                  []float64
+}
+
+// arrivalTimes precomputes every stream's frame arrival instants within
+// cfg.Duration. The schedule depends only on (seed, stream index,
+// arrival process), never on executors or policies, so changing the
+// fleet shape replays the exact same offered load.
+func arrivalTimes(cfg Config) [][]float64 {
+	out := make([][]float64, cfg.Streams)
+	for s := range out {
+		rng := rand.New(rand.NewSource(cfg.Seed*2_654_435 + int64(s)*104_729 + 37))
+		var ts []float64
+		switch cfg.Arrivals {
+		case Poisson:
+			t := rng.ExpFloat64() / cfg.FPS
+			for t < cfg.Duration {
+				ts = append(ts, t)
+				t += rng.ExpFloat64() / cfg.FPS
+			}
+		default: // FixedFPS
+			phase := rng.Float64() / cfg.FPS
+			for k := 0; ; k++ {
+				t := phase + float64(k)/cfg.FPS
+				if t >= cfg.Duration {
+					break
+				}
+				ts = append(ts, t)
+			}
+		}
+		out[s] = ts
+	}
+	return out
+}
+
+// fleet is the mutable state of the event loop.
+type fleet struct {
+	cfg      Config
+	gpu      gpumodel.Model
+	refCost  ops.CostModel
+	cascade  bool
+	sessions []core.System
+	seqs     []*dataset.Sequence
+
+	agenda agenda
+	queue  []job // shared FIFO; index 0 is the oldest waiting frame
+	busy   int
+
+	now, lastT        float64
+	depthInt, busyInt float64 // time integrals of queue depth / busy executors
+	maxDepth          int
+	maxService        float64
+	acc               []streamAcc
+}
+
+// tick advances the virtual clock to t, integrating the queue-depth and
+// busy-executor curves over the elapsed interval.
+func (f *fleet) tick(t float64) {
+	dt := t - f.lastT
+	f.depthInt += dt * float64(len(f.queue))
+	f.busyInt += dt * float64(f.busy)
+	f.lastT = t
+	f.now = t
+}
+
+// enqueue admits an arriving frame to the shared queue, applying the
+// overflow policy when the cap is exceeded.
+func (f *fleet) enqueue(j job) {
+	f.queue = append(f.queue, j)
+	if f.cfg.QueueCap >= 0 && len(f.queue) > f.cfg.QueueCap {
+		switch f.cfg.Drop {
+		case DropNewest:
+			victim := f.queue[len(f.queue)-1]
+			f.queue = f.queue[:len(f.queue)-1]
+			f.acc[victim.stream].droppedQueue++
+		default: // DropOldest
+			victim := f.queue[0]
+			f.queue = f.queue[1:]
+			f.acc[victim.stream].droppedQueue++
+		}
+	}
+	if len(f.queue) > f.maxDepth {
+		f.maxDepth = len(f.queue)
+	}
+}
+
+// dispatch hands queued frames to idle executors until one of the two
+// runs out. Stale frames are skipped at admission; the degrade policy
+// looks at how many frames are still waiting behind the admitted one.
+func (f *fleet) dispatch() {
+	for f.busy < f.cfg.Executors && len(f.queue) > 0 {
+		j := f.queue[0]
+		f.queue = f.queue[1:]
+		if f.cfg.MaxStaleness > 0 && f.now-j.arrive > f.cfg.MaxStaleness {
+			f.acc[j.stream].droppedStale++
+			continue
+		}
+		degraded := f.cascade && f.cfg.DegradeDepth > 0 && len(f.queue) >= f.cfg.DegradeDepth
+		service := f.serve(j, degraded)
+		if service > f.maxService {
+			f.maxService = service
+		}
+		f.busy++
+		f.agenda.add(event{t: f.now + service, kind: evCompletion, stream: j.stream, frame: j.frame})
+		a := &f.acc[j.stream]
+		a.served++
+		if degraded {
+			a.degraded++
+		}
+		a.latencies = append(a.latencies, f.now+service-j.arrive)
+	}
+}
+
+// serve steps the stream's session on the admitted frame and prices the
+// service time with the GPU model. Sessions are stepped in per-stream
+// arrival order (the FIFO queue preserves it), which keeps the tracker
+// causal; dropped frames are simply never seen, so the tracker coasts
+// across them.
+//
+// Degraded frames are a timing-model shed only: the session still
+// steps in full (the tracker keeps its refinement-fed state) and just
+// the price switches to the proposal-only launch — see
+// Config.DegradeDepth for what that does and does not model.
+func (f *fleet) serve(j job, degraded bool) float64 {
+	seq := f.seqs[j.stream]
+	out := f.sessions[j.stream].Step(detector.Frame{
+		SeqID:   seq.ID,
+		Index:   j.frame,
+		Width:   seq.Width,
+		Height:  seq.Height,
+		Objects: seq.Frames[j.frame].Objects,
+	})
+	switch {
+	case !f.cascade:
+		return f.gpu.SingleModelFrame(out.Ops.Refinement).Total
+	case degraded:
+		return f.gpu.ProposalOnlyFrame(out.Ops.Proposal).Total
+	default:
+		return f.gpu.CaTDetFrame(out.Ops.Proposal, out.Regions,
+			float64(seq.Width), float64(seq.Height), f.refCost, out.NumProposals).Total
+	}
+}
+
+// Run executes one serving scenario on the virtual clock and returns
+// its deterministic Result.
+func Run(cfg Config) (*Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+
+	// Offered load first: the schedule fixes how many world frames each
+	// stream needs, independent of fleet shape.
+	schedule := arrivalTimes(cfg)
+	frames := 1
+	for _, ts := range schedule {
+		if len(ts) > frames {
+			frames = len(ts)
+		}
+	}
+	preset := cfg.Preset
+	preset.NumSequences = cfg.Streams
+	preset.FramesPerSeq = frames
+	preset.FPS = cfg.FPS
+	ds := video.Generate(preset, cfg.Seed)
+
+	f := &fleet{cfg: cfg, gpu: gpumodel.Default(), cascade: cfg.Spec.Kind != sim.Single}
+	if cfg.GPU != nil {
+		f.gpu = *cfg.GPU
+	}
+	if f.cascade {
+		ref, err := detector.New(cfg.Spec.Refinement)
+		if err != nil {
+			return nil, err
+		}
+		f.refCost = ref.Cost
+	}
+	factory := cfg.Spec.Factory(ds.Classes)
+	f.sessions = make([]core.System, cfg.Streams)
+	f.seqs = make([]*dataset.Sequence, cfg.Streams)
+	f.acc = make([]streamAcc, cfg.Streams)
+	for s := 0; s < cfg.Streams; s++ {
+		sys, err := factory()
+		if err != nil {
+			return nil, err
+		}
+		f.seqs[s] = &ds.Sequences[s]
+		sys.Reset(f.seqs[s])
+		f.sessions[s] = sys
+	}
+
+	for s, ts := range schedule {
+		for k, t := range ts {
+			f.agenda.add(event{t: t, kind: evArrival, stream: s, frame: k})
+		}
+	}
+
+	for f.agenda.Len() > 0 {
+		e := f.agenda.next()
+		f.tick(e.t)
+		switch e.kind {
+		case evArrival:
+			f.acc[e.stream].arrived++
+			f.enqueue(job{stream: e.stream, frame: e.frame, arrive: e.t})
+		case evCompletion:
+			f.busy--
+		}
+		f.dispatch()
+	}
+
+	return f.result(ds), nil
+}
+
+// result folds the accumulated counters into the Result, in stream
+// order.
+func (f *fleet) result(ds *dataset.Dataset) *Result {
+	cfg := f.cfg
+	r := &Result{
+		Preset:        cfg.Preset.Name,
+		Seed:          cfg.Seed,
+		Streams:       cfg.Streams,
+		FPS:           cfg.FPS,
+		Arrivals:      cfg.Arrivals,
+		Duration:      cfg.Duration,
+		Executors:     cfg.Executors,
+		QueueCap:      cfg.QueueCap,
+		Drop:          cfg.Drop,
+		MaxStaleness:  cfg.MaxStaleness,
+		DegradeDepth:  cfg.DegradeDepth,
+		MaxQueueDepth: f.maxDepth,
+		MaxService:    f.maxService,
+	}
+	if len(f.sessions) > 0 {
+		r.System = f.sessions[0].Name()
+	}
+	var all []float64
+	fleetRow := StreamStats{ID: "fleet"}
+	for s := range f.acc {
+		a := &f.acc[s]
+		row := StreamStats{
+			ID:           ds.Sequences[s].ID,
+			Arrived:      a.arrived,
+			Served:       a.served,
+			DroppedQueue: a.droppedQueue,
+			DroppedStale: a.droppedStale,
+			Degraded:     a.degraded,
+			Throughput:   float64(a.served) / cfg.Duration,
+			Latency:      Summarize(a.latencies),
+		}
+		if a.arrived > 0 {
+			row.DropRate = float64(a.droppedQueue+a.droppedStale) / float64(a.arrived)
+		}
+		r.PerStream = append(r.PerStream, row)
+		fleetRow.Arrived += a.arrived
+		fleetRow.Served += a.served
+		fleetRow.DroppedQueue += a.droppedQueue
+		fleetRow.DroppedStale += a.droppedStale
+		fleetRow.Degraded += a.degraded
+		all = append(all, a.latencies...)
+	}
+	fleetRow.Throughput = float64(fleetRow.Served) / cfg.Duration
+	if fleetRow.Arrived > 0 {
+		fleetRow.DropRate = float64(fleetRow.DroppedQueue+fleetRow.DroppedStale) / float64(fleetRow.Arrived)
+	}
+	fleetRow.Latency = Summarize(all)
+	r.Fleet = fleetRow
+	if f.lastT > 0 {
+		r.AvgQueueDepth = f.depthInt / f.lastT
+		r.Utilization = f.busyInt / (f.lastT * float64(cfg.Executors))
+	}
+	return r
+}

@@ -1,0 +1,216 @@
+// Package serve is the online counterpart of internal/sim: a
+// deterministic discrete-event simulator of a serving fleet under live
+// multi-stream video load. N concurrent streams (each a private
+// per-stream detection session built from a sim.SystemFactory) emit
+// frames on a seeded arrival process; frames queue for a configurable
+// number of GPU executors whose per-frame service time comes from the
+// Appendix I gpumodel (region merging and launch overhead included).
+// Backpressure policies — queue cap with drop-oldest/drop-newest,
+// stale-frame skip, degrade-to-proposal-only under overload — shape the
+// tail, and the simulator accumulates per-stream and fleet-wide
+// throughput, drop rate, queue depth and p50/p95/p99 end-to-end
+// latency.
+//
+// Everything runs on a virtual clock in a single goroutine: the same
+// Config (seed included) always produces a byte-identical Result, at
+// any executor count and on any machine.
+package serve
+
+import (
+	"fmt"
+
+	"repro/internal/gpumodel"
+	"repro/internal/sim"
+	"repro/internal/video"
+)
+
+// ArrivalKind selects the per-stream frame arrival process.
+type ArrivalKind string
+
+// Arrival processes.
+const (
+	// FixedFPS emits frames at exactly 1/FPS spacing, with a seeded
+	// per-stream phase so streams do not arrive in lockstep.
+	FixedFPS ArrivalKind = "fixed"
+	// Poisson draws exponential inter-arrival times with mean 1/FPS
+	// (bursty camera uplinks, network jitter).
+	Poisson ArrivalKind = "poisson"
+)
+
+// DropKind selects which frame a full queue evicts.
+type DropKind string
+
+// Queue-overflow policies.
+const (
+	// DropOldest evicts the head of the queue (the frame that has
+	// waited longest) to admit the incoming one: freshest-first.
+	DropOldest DropKind = "drop-oldest"
+	// DropNewest rejects the incoming frame: tail drop.
+	DropNewest DropKind = "drop-newest"
+)
+
+// Config describes one serving scenario. The zero value of most fields
+// selects a sensible default (see Run); Spec is required.
+type Config struct {
+	// Spec names the detection system every stream runs (one private
+	// instance per stream, so tracker state never crosses streams).
+	Spec sim.SystemSpec
+
+	// Preset is the synthetic world each stream draws frames from
+	// (stream i plays sequence i of the preset). Zero value means
+	// video.KITTIPreset().
+	Preset video.Preset
+
+	// Seed drives the world generation and the arrival processes.
+	Seed int64
+
+	// Streams is the number of concurrent video streams (default 4).
+	Streams int
+
+	// FPS is the per-stream frame arrival rate; 0 means the preset's
+	// native rate. The world preset is regenerated at this rate so
+	// frame content and arrival cadence agree.
+	FPS float64
+
+	// Arrivals selects the arrival process (default FixedFPS).
+	Arrivals ArrivalKind
+
+	// Duration is the virtual seconds of load offered (default 30).
+	// Frames in flight when the load ends are drained and counted.
+	Duration float64
+
+	// Executors is the number of identical GPU executors fed from one
+	// shared FIFO queue (default 1).
+	Executors int
+
+	// QueueCap bounds the number of frames waiting in the shared
+	// queue (frames in service excluded). 0 means 4*Streams; negative
+	// means unbounded.
+	QueueCap int
+
+	// Drop is the queue-overflow policy (default DropOldest).
+	Drop DropKind
+
+	// MaxStaleness, when positive, skips any frame that has waited
+	// longer than this many seconds at the moment an executor would
+	// start it (the result would be too old to act on).
+	MaxStaleness float64
+
+	// DegradeDepth, when positive, degrades service to the proposal
+	// network only (the refinement pass is shed) whenever at least
+	// this many frames are still waiting behind the one being
+	// admitted. Only cascade systems can degrade; single-model
+	// streams always run in full.
+	//
+	// Degradation is a timing-model shed: the frame is priced as a
+	// proposal-only launch, but the session still steps in full, so
+	// tracker state and detection quality are those of the undegraded
+	// system. The reported latency/throughput/drop numbers are what a
+	// shedding fleet would see on its queues; the accuracy cost of
+	// shedding (worse tracks after an overload burst, hence larger
+	// refinement regions while recovering) is not modeled.
+	DegradeDepth int
+
+	// GPU overrides the timing model; nil means gpumodel.Default().
+	GPU *gpumodel.Model
+}
+
+// withDefaults returns the normalized config the simulator runs.
+func (c Config) withDefaults() (Config, error) {
+	if c.Spec.Kind == "" {
+		return c, fmt.Errorf("serve: Config.Spec is required")
+	}
+	if c.Preset.Name == "" {
+		c.Preset = video.KITTIPreset()
+	}
+	if c.Streams <= 0 {
+		c.Streams = 4
+	}
+	if c.FPS <= 0 {
+		c.FPS = c.Preset.FPS
+	}
+	if c.FPS <= 0 {
+		return c, fmt.Errorf("serve: preset %q has no FPS and Config.FPS is unset", c.Preset.Name)
+	}
+	if c.Arrivals == "" {
+		c.Arrivals = FixedFPS
+	}
+	if c.Arrivals != FixedFPS && c.Arrivals != Poisson {
+		return c, fmt.Errorf("serve: unknown arrival process %q", c.Arrivals)
+	}
+	if c.Duration <= 0 {
+		c.Duration = 30
+	}
+	if c.Executors <= 0 {
+		c.Executors = 1
+	}
+	if c.QueueCap == 0 {
+		c.QueueCap = 4 * c.Streams
+	}
+	if c.Drop == "" {
+		c.Drop = DropOldest
+	}
+	if c.Drop != DropOldest && c.Drop != DropNewest {
+		return c, fmt.Errorf("serve: unknown drop policy %q", c.Drop)
+	}
+	return c, nil
+}
+
+// StreamStats is the outcome of one stream (or, for Result.Fleet, of
+// every stream combined).
+type StreamStats struct {
+	// ID is the stream's sequence identity ("fleet" for the combined
+	// row).
+	ID string `json:"id"`
+	// Arrived is the number of frames the stream offered.
+	Arrived int `json:"arrived"`
+	// Served is the number of frames that completed service
+	// (degraded frames included).
+	Served int `json:"served"`
+	// DroppedQueue counts frames evicted by the queue-overflow
+	// policy; DroppedStale counts frames skipped for exceeding
+	// MaxStaleness at admission.
+	DroppedQueue int `json:"dropped_queue"`
+	DroppedStale int `json:"dropped_stale"`
+	// Degraded counts served frames that ran proposal-only.
+	Degraded int `json:"degraded"`
+	// Throughput is Served divided by the offered Duration, in
+	// frames per second.
+	Throughput float64 `json:"throughput_fps"`
+	// DropRate is (DroppedQueue+DroppedStale)/Arrived.
+	DropRate float64 `json:"drop_rate"`
+	// Latency summarizes end-to-end (arrival to completion) seconds
+	// over served frames.
+	Latency LatencySummary `json:"latency"`
+}
+
+// Result is the full outcome of one serving scenario. It is plain data
+// with a deterministic JSON encoding: rerunning the same Config yields
+// byte-identical output.
+type Result struct {
+	// Scenario identity.
+	System       string      `json:"system"`
+	Preset       string      `json:"preset"`
+	Seed         int64       `json:"seed"`
+	Streams      int         `json:"streams"`
+	FPS          float64     `json:"fps"`
+	Arrivals     ArrivalKind `json:"arrivals"`
+	Duration     float64     `json:"duration_s"`
+	Executors    int         `json:"executors"`
+	QueueCap     int         `json:"queue_cap"`
+	Drop         DropKind    `json:"drop_policy"`
+	MaxStaleness float64     `json:"max_staleness_s"`
+	DegradeDepth int         `json:"degrade_depth"`
+
+	// Fleet aggregates every stream; PerStream is indexed by stream.
+	Fleet     StreamStats   `json:"fleet"`
+	PerStream []StreamStats `json:"per_stream"`
+
+	// Queue and executor diagnostics: time-weighted mean and peak
+	// depth of the shared queue, busy fraction of the executors, and
+	// the largest single service time observed.
+	AvgQueueDepth float64 `json:"avg_queue_depth"`
+	MaxQueueDepth int     `json:"max_queue_depth"`
+	Utilization   float64 `json:"utilization"`
+	MaxService    float64 `json:"max_service_s"`
+}

@@ -1,0 +1,214 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/video"
+)
+
+// testConfig is a small CaTDet scenario on the mini world; tests tweak
+// the returned copy.
+func testConfig() Config {
+	return Config{
+		Spec: sim.SystemSpec{
+			Kind: sim.CaTDet, Proposal: "resnet10a", Refinement: "resnet50",
+			Cfg: core.DefaultConfig(),
+		},
+		Preset:   video.MiniKITTIPreset(),
+		Seed:     1,
+		Streams:  4,
+		FPS:      15,
+		Arrivals: Poisson,
+		Duration: 4,
+	}
+}
+
+func mustRun(t *testing.T, cfg Config) *Result {
+	t.Helper()
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func marshal(t *testing.T, r *Result) []byte {
+	t.Helper()
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestDeterminism reruns the same scenario at 1, 2 and 8 executors and
+// requires byte-identical JSON each time: the event loop has no hidden
+// scheduling, wall-clock or map-order dependence.
+func TestDeterminism(t *testing.T) {
+	for _, executors := range []int{1, 2, 8} {
+		cfg := testConfig()
+		cfg.Executors = executors
+		first := marshal(t, mustRun(t, cfg))
+		again := marshal(t, mustRun(t, cfg))
+		if !bytes.Equal(first, again) {
+			t.Errorf("executors=%d: rerun not byte-identical\n first: %s\nsecond: %s",
+				executors, first, again)
+		}
+	}
+}
+
+// TestMoreExecutorsServeNoLess sanity-checks the fleet axis: adding
+// executors to an overloaded fleet cannot reduce the served count.
+func TestMoreExecutorsServeNoLess(t *testing.T) {
+	cfg := testConfig()
+	cfg.Executors = 1
+	one := mustRun(t, cfg)
+	cfg.Executors = 4
+	four := mustRun(t, cfg)
+	if four.Fleet.Served < one.Fleet.Served {
+		t.Errorf("served fell from %d to %d when executors went 1 -> 4",
+			one.Fleet.Served, four.Fleet.Served)
+	}
+	if one.Fleet.Arrived != four.Fleet.Arrived {
+		t.Errorf("offered load changed with executors: %d vs %d arrivals",
+			one.Fleet.Arrived, four.Fleet.Arrived)
+	}
+}
+
+// TestOverloadDropBoundedTail overloads one executor far past capacity
+// and asserts the backpressure policies engage: frames drop, the queue
+// respects its cap, and p99 stays bounded by staleness + one service.
+func TestOverloadDropBoundedTail(t *testing.T) {
+	cfg := testConfig()
+	cfg.Streams = 6
+	cfg.FPS = 30
+	cfg.Executors = 1
+	cfg.QueueCap = 4
+	cfg.MaxStaleness = 0.3
+	one := mustRun(t, cfg)
+
+	if one.Fleet.DroppedQueue == 0 {
+		t.Error("overload did not engage the queue drop policy")
+	}
+	if one.Fleet.DropRate <= 0 {
+		t.Errorf("drop rate %v under 6x30fps on one executor", one.Fleet.DropRate)
+	}
+	if one.MaxQueueDepth > cfg.QueueCap+1 {
+		t.Errorf("queue depth %d exceeded cap %d", one.MaxQueueDepth, cfg.QueueCap)
+	}
+	// A served frame waits at most MaxStaleness (else it is skipped at
+	// admission) and then runs for at most MaxService.
+	bound := cfg.MaxStaleness + one.MaxService + 1e-9
+	if one.Fleet.Latency.P99 > bound {
+		t.Errorf("p99 %v not bounded by staleness+service %v", one.Fleet.Latency.P99, bound)
+	}
+	if one.Fleet.Latency.Max > bound {
+		t.Errorf("max latency %v not bounded by staleness+service %v", one.Fleet.Latency.Max, bound)
+	}
+}
+
+// TestDropNewestRespectsCap checks the tail-drop variant: the queue
+// never grows past its cap and drops are charged to arriving frames.
+func TestDropNewestRespectsCap(t *testing.T) {
+	cfg := testConfig()
+	cfg.Streams = 6
+	cfg.FPS = 30
+	cfg.Executors = 1
+	cfg.QueueCap = 2
+	cfg.Drop = DropNewest
+	r := mustRun(t, cfg)
+	if r.MaxQueueDepth > cfg.QueueCap+1 {
+		t.Errorf("queue depth %d exceeded cap %d", r.MaxQueueDepth, cfg.QueueCap)
+	}
+	if r.Fleet.DroppedQueue == 0 {
+		t.Error("tail drop never engaged under overload")
+	}
+}
+
+// TestDegradeShedsLoad checks the proposal-only degraded mode: under
+// overload it engages, and shedding the refinement pass lets the fleet
+// serve strictly more frames than the same scenario without it.
+func TestDegradeShedsLoad(t *testing.T) {
+	cfg := testConfig()
+	cfg.Streams = 6
+	cfg.FPS = 30
+	cfg.Executors = 1
+	cfg.QueueCap = 8
+	full := mustRun(t, cfg)
+	cfg.DegradeDepth = 2
+	degraded := mustRun(t, cfg)
+
+	if degraded.Fleet.Degraded == 0 {
+		t.Fatal("degrade policy never engaged under overload")
+	}
+	if degraded.Fleet.Served <= full.Fleet.Served {
+		t.Errorf("degraded fleet served %d <= full fleet %d",
+			degraded.Fleet.Served, full.Fleet.Served)
+	}
+}
+
+// TestSingleModelCostsMore compares CaTDet against the single Res50
+// model under the same light load: the cascade's p50 must undercut the
+// single model's, which is the serving-layer restatement of Table 7.
+func TestSingleModelCostsMore(t *testing.T) {
+	cfg := testConfig()
+	cfg.Streams = 1
+	cfg.FPS = 2 // light load: latency ~ service time
+	cat := mustRun(t, cfg)
+
+	cfg.Spec = sim.SystemSpec{Kind: sim.Single, Refinement: "resnet50"}
+	single := mustRun(t, cfg)
+
+	if single.Fleet.Degraded != 0 {
+		t.Errorf("single-model stream reported %d degraded frames; degrade must not apply", single.Fleet.Degraded)
+	}
+	if cat.Fleet.Latency.P50 >= single.Fleet.Latency.P50 {
+		t.Errorf("CaTDet p50 %v not below single-model p50 %v",
+			cat.Fleet.Latency.P50, single.Fleet.Latency.P50)
+	}
+}
+
+// TestArrivalScheduleIndependentOfFleet pins the open-loop property:
+// policies and executors never change the offered load.
+func TestArrivalScheduleIndependentOfFleet(t *testing.T) {
+	cfg := testConfig()
+	cfg.Executors = 1
+	base := mustRun(t, cfg)
+	cfg.Executors = 8
+	cfg.QueueCap = 1
+	cfg.MaxStaleness = 0.01
+	cfg.DegradeDepth = 1
+	stressed := mustRun(t, cfg)
+	for i := range base.PerStream {
+		if base.PerStream[i].Arrived != stressed.PerStream[i].Arrived {
+			t.Errorf("stream %d offered load changed: %d vs %d",
+				i, base.PerStream[i].Arrived, stressed.PerStream[i].Arrived)
+		}
+	}
+}
+
+// TestConfigValidation rejects the invalid corners.
+func TestConfigValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Error("Run accepted a zero Config without a system spec")
+	}
+	cfg := testConfig()
+	cfg.Arrivals = "bursty"
+	if _, err := Run(cfg); err == nil {
+		t.Error("Run accepted an unknown arrival process")
+	}
+	cfg = testConfig()
+	cfg.Drop = "drop-random"
+	if _, err := Run(cfg); err == nil {
+		t.Error("Run accepted an unknown drop policy")
+	}
+	cfg = testConfig()
+	cfg.Spec.Refinement = "no-such-model"
+	if _, err := Run(cfg); err == nil {
+		t.Error("Run accepted an unknown refinement model")
+	}
+}

@@ -1,0 +1,69 @@
+package serve
+
+import "sort"
+
+// LatencySummary condenses a latency sample set. All values are
+// seconds; percentiles use the nearest-rank method (P50 of n samples is
+// the ceil(0.50*n)-th smallest), so every reported value is an actual
+// observed latency.
+type LatencySummary struct {
+	Count int     `json:"count"`
+	Mean  float64 `json:"mean_s"`
+	P50   float64 `json:"p50_s"`
+	P95   float64 `json:"p95_s"`
+	P99   float64 `json:"p99_s"`
+	Max   float64 `json:"max_s"`
+}
+
+// percentile returns the nearest-rank q-th percentile (q in (0,1]) of
+// an ascending-sorted sample set; 0 when empty.
+func percentile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	i := ceilRank(q, n) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return sorted[i]
+}
+
+// ceilRank computes ceil(q*n) in exact integer arithmetic for the
+// quantiles used here (avoids float64 ceil landing one rank high when
+// q*n is representable exactly, e.g. 0.5*4).
+func ceilRank(q float64, n int) int {
+	r := int(q * float64(n))
+	if float64(r) < q*float64(n) {
+		r++
+	}
+	if r < 1 {
+		r = 1
+	}
+	return r
+}
+
+// Summarize computes the latency summary of a sample set. The input is
+// not modified.
+func Summarize(samples []float64) LatencySummary {
+	s := LatencySummary{Count: len(samples)}
+	if len(samples) == 0 {
+		return s
+	}
+	sorted := make([]float64, len(samples))
+	copy(sorted, samples)
+	sort.Float64s(sorted)
+	sum := 0.0
+	for _, v := range sorted {
+		sum += v
+	}
+	s.Mean = sum / float64(len(sorted))
+	s.P50 = percentile(sorted, 0.50)
+	s.P95 = percentile(sorted, 0.95)
+	s.P99 = percentile(sorted, 0.99)
+	s.Max = sorted[len(sorted)-1]
+	return s
+}
