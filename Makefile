@@ -9,8 +9,9 @@ REPRO_SEQS      ?= 6
 REPRO_CITY_SEQS ?= 60
 REPRO_OUT       ?= report.json
 BENCH_OUT       ?= bench.txt
+SWEEP_OUT       ?= sweep.txt
 
-.PHONY: all fmt vet build test race bench repro clean
+.PHONY: all fmt vet build test race bench repro sweep clean
 
 all: fmt vet build test
 
@@ -42,5 +43,15 @@ bench:
 repro:
 	$(GO) run ./cmd/experiments -seqs $(REPRO_SEQS) -city-seqs $(REPRO_CITY_SEQS) -json $(REPRO_OUT)
 
+# Reduced serving policy sweep: one hot Poisson stream against five
+# quiet ones on a saturated executor, replayed under every scheduler x
+# batch-size combination. The table makes scheduling/batching
+# regressions visible per PR (CI uploads $(SWEEP_OUT) as an artifact).
+sweep:
+	@$(GO) run ./cmd/serve -preset mini -streams 6 -fps 12 \
+		-stream-fps 60,12,12,12,12,12 -arrivals poisson -executors 1 \
+		-duration 6 -stale 0.4 -sweep > $(SWEEP_OUT); \
+		st=$$?; cat $(SWEEP_OUT); exit $$st
+
 clean:
-	rm -f $(REPRO_OUT) $(BENCH_OUT)
+	rm -f $(REPRO_OUT) $(BENCH_OUT) $(SWEEP_OUT)

@@ -313,6 +313,51 @@ func BenchmarkServeOverload(b *testing.B) {
 	b.ReportMetric(1000*res.Fleet.Latency.P99, "p99_ms")
 }
 
+// BenchmarkServeBatched measures the batched-executor path: the same
+// overload as BenchmarkServeOverload with four frames fused per launch
+// (alpha*sum(W)+b), reporting the amortization as served throughput.
+func BenchmarkServeBatched(b *testing.B) {
+	cfg := serveBenchConfig()
+	cfg.Streams = 8
+	cfg.Executors = 1
+	cfg.QueueCap = 8
+	cfg.MaxStaleness = 0.3
+	cfg.BatchSize = 4
+	var res *ServeResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = Serve(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Fleet.Throughput, "served_fps")
+	b.ReportMetric(float64(res.Fleet.Served)/float64(res.Batches), "frames_per_launch")
+	b.ReportMetric(100*res.Fleet.DropRate, "drop_pct")
+}
+
+// BenchmarkServeFair measures the deficit-round-robin scheduler under
+// one hot stream among quiet ones, reporting the drop-rate spread the
+// policy is there to shrink.
+func BenchmarkServeFair(b *testing.B) {
+	cfg := serveBenchConfig()
+	cfg.Streams = 8
+	cfg.Executors = 1
+	cfg.StreamFPS = []float64{40, 10, 10, 10, 10, 10, 10, 10}
+	cfg.MaxStaleness = 0.3
+	cfg.Scheduler = SchedFair
+	var res *ServeResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = Serve(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*res.DropSpread(), "drop_spread_pct")
+	b.ReportMetric(res.Fleet.Throughput, "served_fps")
+}
+
 // --- Ablation benches (design choices from DESIGN.md §4) ---
 
 func ablationRun(b *testing.B, cfg core.Config) (mapHard float64, gops float64) {

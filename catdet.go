@@ -29,6 +29,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/detector"
 	"repro/internal/serve"
+	"repro/internal/serve/sched"
 	"repro/internal/sim"
 	"repro/internal/tracker"
 	"repro/internal/video"
@@ -167,12 +168,26 @@ type (
 	LatencySummary = serve.LatencySummary
 )
 
-// Serving arrival processes and drop policies.
+// SchedKind names a serving-queue scheduling policy (see
+// internal/serve/sched for the policy semantics).
+type SchedKind = sched.Kind
+
+// Serving arrival processes, drop policies and schedulers.
 const (
 	FixedFPS   = serve.FixedFPS
 	Poisson    = serve.Poisson
 	DropOldest = serve.DropOldest
 	DropNewest = serve.DropNewest
+
+	// SchedFIFO is the shared arrival-order queue; SchedFair is
+	// deficit round-robin across streams; SchedPriority serves by
+	// per-stream priority class (ServeConfig.Priorities, higher
+	// first); SchedEDF is earliest-deadline-first with deadline =
+	// arrive + MaxStaleness.
+	SchedFIFO     = sched.FIFO
+	SchedFair     = sched.Fair
+	SchedPriority = sched.Priority
+	SchedEDF      = sched.EDF
 )
 
 // Serve runs one online serving scenario on the virtual clock. The

@@ -10,18 +10,32 @@
 //	serve -streams 8 -fps 30 -arrivals poisson -policy drop-oldest -queue-cap 16
 //	serve -streams 16 -executors 2 -stale 0.3 -degrade-depth 8 -json
 //	serve -system single -refinement resnet50 -streams 8 -executors 2
+//	serve -streams 8 -sched fair -batch 4                     # DRR + batched launches
+//	serve -streams 4 -sched priority -priorities 2,2,1,0      # per-stream classes
+//	serve -streams 8 -sched edf -stale 0.5                    # deadline = arrive+stale
+//	serve -streams 6 -stream-fps 60,10,10,10,10,10 -sweep     # policy x batch table
 package main
 
 import (
 	"encoding/json"
 	"flag"
+	"fmt"
 	"log"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/serve"
+	"repro/internal/serve/sched"
 	"repro/internal/sim"
 	"repro/internal/video"
+)
+
+// sweepScheds and sweepBatches span the -sweep comparison grid.
+var (
+	sweepScheds  = []sched.Kind{sched.FIFO, sched.Fair, sched.Priority, sched.EDF}
+	sweepBatches = []int{1, 2, 4, 8}
 )
 
 func main() {
@@ -34,15 +48,20 @@ func main() {
 	preset := flag.String("preset", "kitti", "synthetic world: kitti | citypersons | mini")
 	streams := flag.Int("streams", 4, "number of concurrent video streams")
 	fps := flag.Float64("fps", 0, "per-stream frame rate (0 = preset native)")
+	streamFPS := flag.String("stream-fps", "", "comma-separated per-stream rates overriding -fps (heterogeneous load)")
 	arrivals := flag.String("arrivals", "fixed", "arrival process: fixed | poisson")
 	duration := flag.Float64("duration", 30, "virtual seconds of offered load")
 	executors := flag.Int("executors", 1, "number of GPU executors")
+	schedKind := flag.String("sched", "fifo", "scheduler: fifo | fair | priority | edf")
+	batch := flag.Int("batch", 1, "max frames fused into one batched launch")
+	priorities := flag.String("priorities", "", "comma-separated per-stream priority classes (higher first; priority scheduler)")
 	queueCap := flag.Int("queue-cap", 0, "shared queue cap (0 = 4*streams, negative = unbounded)")
 	policy := flag.String("policy", "drop-oldest", "queue overflow policy: drop-oldest | drop-newest")
 	stale := flag.Float64("stale", 0, "skip frames older than this many seconds at admission (0 = off)")
 	degradeDepth := flag.Int("degrade-depth", 0, "degrade to proposal-only when this many frames wait behind the admitted one (0 = off)")
 	seed := flag.Int64("seed", 1, "world and arrival seed")
 	jsonOut := flag.Bool("json", false, "emit the full machine-readable result instead of text")
+	sweep := flag.Bool("sweep", false, "run the scheduler x batch grid on this scenario and print a comparison table")
 	flag.Parse()
 
 	var p video.Preset
@@ -68,13 +87,24 @@ func main() {
 		Seed:         *seed,
 		Streams:      *streams,
 		FPS:          *fps,
+		StreamFPS:    parseFloats(*streamFPS),
 		Arrivals:     serve.ArrivalKind(*arrivals),
 		Duration:     *duration,
 		Executors:    *executors,
+		Scheduler:    sched.Kind(*schedKind),
+		BatchSize:    *batch,
+		Priorities:   parseInts(*priorities),
 		QueueCap:     *queueCap,
 		Drop:         serve.DropKind(*policy),
 		MaxStaleness: *stale,
 		DegradeDepth: *degradeDepth,
+	}
+	if *sweep {
+		if *jsonOut {
+			log.Fatal("-sweep prints a text comparison table; it has no -json form")
+		}
+		runSweep(cfg)
+		return
 	}
 	res, err := serve.Run(cfg)
 	if err != nil {
@@ -89,4 +119,75 @@ func main() {
 		return
 	}
 	res.WriteText(os.Stdout)
+}
+
+// runSweep replays the exact same offered load under every scheduler
+// and batch size and prints one comparison row per combination. When
+// no -priorities are given, the priority rows default to class 1 for
+// the first half of the streams (so the policy has something to rank).
+func runSweep(base serve.Config) {
+	fmt.Printf("sweep: %d streams, %d executors, %.1fs, seed %d (same arrivals every row)\n\n",
+		base.Streams, base.Executors, base.Duration, base.Seed)
+	fmt.Println("sched     batch  served/offered  drop%   stale  spread%  p50       p99       tput_fps  util%")
+	for _, kind := range sweepScheds {
+		for _, b := range sweepBatches {
+			cfg := base
+			cfg.Scheduler = kind
+			cfg.BatchSize = b
+			if kind == sched.Priority && len(cfg.Priorities) == 0 {
+				cfg.Priorities = make([]int, cfg.Streams)
+				for s := 0; s < cfg.Streams/2; s++ {
+					cfg.Priorities[s] = 1
+				}
+			}
+			res, err := serve.Run(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fl := res.Fleet
+			fmt.Printf("%-9s %5d  %6d/%-7d  %5.1f  %6d  %7.1f  %-8s  %-8s  %8.1f  %5.1f\n",
+				kind, b, fl.Served, fl.Arrived, 100*fl.DropRate, fl.DroppedStale,
+				100*res.DropSpread(), msStr(fl.Latency.P50), msStr(fl.Latency.P99),
+				fl.Throughput, 100*res.Utilization)
+		}
+	}
+	fmt.Println("\nspread% is max-min per-stream drop rate: lower means the load is")
+	fmt.Println("shed evenly instead of starving the unlucky streams. Batched rows")
+	fmt.Println("pay the per-launch constant b once per batch (alpha*SUM(W) + b).")
+}
+
+func msStr(s float64) string { return fmt.Sprintf("%.1fms", 1000*s) }
+
+// parseInts parses a comma-separated integer list ("" = nil).
+func parseInts(s string) []int {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			log.Fatalf("bad integer list entry %q: %v", p, err)
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// parseFloats parses a comma-separated float list ("" = nil).
+func parseFloats(s string) []float64 {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]float64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			log.Fatalf("bad float list entry %q: %v", p, err)
+		}
+		out[i] = v
+	}
+	return out
 }

@@ -98,6 +98,7 @@ func (m Model) CaTDetFrame(proposalOps float64, regions []geom.Box, frameW, fram
 	merged := m.MergeRegions(regions, frameW, frameH, refCost)
 	gpu := m.LaunchTime(proposalOps)
 	work := 0.0
+	launches := len(merged)
 	roisLeft := nProposals
 	for i, r := range merged {
 		// Attribute the RoI head work to the merged launches, all on
@@ -110,11 +111,44 @@ func (m Model) CaTDetFrame(proposalOps float64, regions []geom.Box, frameW, fram
 		work += w
 		gpu += m.LaunchTime(w)
 	}
+	if len(merged) == 0 && nProposals > 0 && frameW > 0 && frameH > 0 {
+		// No refinement region survived merging but RoIs still need the
+		// head pass (e.g. every proposal fell on an already-tracked
+		// object, so no region was scheduled). Charge a zero-area,
+		// head-only launch instead of silently dropping the work.
+		w := refCost.RegionOps(int(frameW), int(frameH), 0, nProposals)
+		work += w
+		gpu += m.LaunchTime(w)
+		launches = 1
+	}
 	return FrameTime{
 		GPU:            gpu,
 		Total:          gpu + m.CPUOverheadCaTDet,
-		Launches:       len(merged),
+		Launches:       launches,
 		MergedWorkload: work,
+	}
+}
+
+// BatchFrames prices one cross-frame batched launch: the workloads of
+// every frame in the batch execute as a single fused launch, so
+// T_gpu = alpha*ΣW + b — the per-launch constant b from Appendix I is
+// paid once for the whole batch, exactly the amortization that region
+// merging performs spatially within a frame. Each workload must be a
+// frame's total operations (for CaTDet: proposal pass plus merged
+// refinement regions including the RoI head). cpuPerFrame is the
+// non-GPU per-frame overhead, still paid once per frame — data
+// loading and framework wrapping do not batch away.
+func (m Model) BatchFrames(workloads []float64, cpuPerFrame float64) FrameTime {
+	w := 0.0
+	for _, wi := range workloads {
+		w += wi
+	}
+	gpu := m.LaunchTime(w)
+	return FrameTime{
+		GPU:            gpu,
+		Total:          gpu + cpuPerFrame*float64(len(workloads)),
+		Launches:       1,
+		MergedWorkload: w,
 	}
 }
 

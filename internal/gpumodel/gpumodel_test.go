@@ -1,6 +1,7 @@
 package gpumodel
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/geom"
@@ -97,6 +98,91 @@ func TestMergedWorkloadAtLeastUnmerged(t *testing.T) {
 	unmerged = m.RegionWorkload(geom.NewBox(0, 0, 1, 1), ops.KITTIWidth, ops.KITTIHeight, cost, 0)
 	if ft.MergedWorkload < unmerged {
 		t.Fatalf("merged workload %.3e below any single region %.3e", ft.MergedWorkload, unmerged)
+	}
+}
+
+// TestCaTDetFrameEmptyMergeChargesHead is the regression for the
+// vanished-head bug: when no refinement region survives (or none was
+// scheduled) while proposals still exist, the RoI-head work used to
+// silently disappear from the frame price. It must now run as one
+// zero-area, head-only launch.
+func TestCaTDetFrameEmptyMergeChargesHead(t *testing.T) {
+	m := Default()
+	cost := ops.MustCostModel("resnet50")
+	propOps := 1e9
+	headOnly := cost.RegionOps(ops.KITTIWidth, ops.KITTIHeight, 0, 12)
+	if headOnly <= 0 {
+		t.Fatal("head-only workload is zero; the regression cannot discriminate")
+	}
+	cases := []struct {
+		name         string
+		regions      []geom.Box
+		nProposals   int
+		wantLaunches int
+		wantWork     float64
+	}{
+		{"no regions, no proposals", nil, 0, 0, 0},
+		{"no regions, proposals pending", nil, 12, 1, headOnly},
+		{"one region, no proposals", []geom.Box{geom.NewBox(100, 100, 200, 200)}, 0, 1,
+			m.RegionWorkload(geom.NewBox(100, 100, 200, 200), ops.KITTIWidth, ops.KITTIHeight, cost, 0)},
+	}
+	for _, tc := range cases {
+		ft := m.CaTDetFrame(propOps, tc.regions, ops.KITTIWidth, ops.KITTIHeight, cost, tc.nProposals)
+		if ft.Launches != tc.wantLaunches {
+			t.Errorf("%s: launches = %d, want %d", tc.name, ft.Launches, tc.wantLaunches)
+		}
+		if ft.MergedWorkload != tc.wantWork {
+			t.Errorf("%s: merged workload = %v, want %v", tc.name, ft.MergedWorkload, tc.wantWork)
+		}
+		wantGPU := m.LaunchTime(propOps)
+		if tc.wantLaunches > 0 {
+			wantGPU += m.LaunchTime(tc.wantWork)
+		}
+		if ft.GPU != wantGPU {
+			t.Errorf("%s: GPU = %v, want %v", tc.name, ft.GPU, wantGPU)
+		}
+	}
+	// The proposals-but-no-regions frame must cost strictly more than
+	// the regionless, proposal-free one: the head work is charged.
+	bare := m.CaTDetFrame(propOps, nil, ops.KITTIWidth, ops.KITTIHeight, cost, 0)
+	withHead := m.CaTDetFrame(propOps, nil, ops.KITTIWidth, ops.KITTIHeight, cost, 12)
+	if withHead.GPU <= bare.GPU {
+		t.Errorf("pending proposals priced at %v, no more than the headless frame %v", withHead.GPU, bare.GPU)
+	}
+}
+
+// TestBatchFrames pins the batched-launch pricing: alpha*SUM(W) + b —
+// the per-launch constant paid once for the whole batch — plus the
+// per-frame CPU overhead, which does not batch away.
+func TestBatchFrames(t *testing.T) {
+	m := Model{Alpha: 1e-12, LaunchOverhead: 5e-3}
+	works := []float64{1e9, 2e9, 3e9}
+	cpu := 0.01
+	ft := m.BatchFrames(works, cpu)
+	wantGPU := m.Alpha*6e9 + m.LaunchOverhead
+	if ft.GPU != wantGPU {
+		t.Fatalf("batch GPU = %v, want alpha*sum+b = %v", ft.GPU, wantGPU)
+	}
+	if ft.Total != wantGPU+3*cpu {
+		t.Fatalf("batch total = %v, want GPU + 3 cpu overheads = %v", ft.Total, wantGPU+3*cpu)
+	}
+	if ft.Launches != 1 {
+		t.Fatalf("batch launches = %d, want 1", ft.Launches)
+	}
+
+	// Amortization: a batch of k frames saves exactly (k-1) launch
+	// overheads versus k separate single-frame launches.
+	separate := 0.0
+	for _, w := range works {
+		separate += m.LaunchTime(w)
+	}
+	if got, want := separate-ft.GPU, 2*m.LaunchOverhead; math.Abs(got-want) > 1e-15 {
+		t.Fatalf("batching saved %v, want (k-1)*b = %v", got, want)
+	}
+
+	// Empty batch: the degenerate launch costs b alone and no CPU.
+	if got := m.BatchFrames(nil, cpu); got.GPU != m.LaunchOverhead || got.Total != m.LaunchOverhead {
+		t.Fatalf("empty batch priced at %+v", got)
 	}
 }
 

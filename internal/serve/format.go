@@ -23,15 +23,22 @@ func (r *Result) WriteText(w io.Writer) {
 	if r.DegradeDepth > 0 {
 		degrade = fmt.Sprintf("depth>=%d", r.DegradeDepth)
 	}
-	fmt.Fprintf(w, "fleet:       %d executors, queue cap %d, %s, stale %s, degrade %s\n",
-		r.Executors, r.QueueCap, r.Drop, stale, degrade)
+	fmt.Fprintf(w, "fleet:       %d executors, sched %s, batch %d, queue cap %d, %s, stale %s, degrade %s\n",
+		r.Executors, r.Scheduler, r.BatchSize, r.QueueCap, r.Drop, stale, degrade)
 	fl := r.Fleet
-	fmt.Fprintf(w, "served:      %d/%d frames (throughput %.1f fps, drop rate %.1f%%, degraded %d)\n",
-		fl.Served, fl.Arrived, fl.Throughput, 100*fl.DropRate, fl.Degraded)
+	fmt.Fprintf(w, "served:      %d/%d frames in %d launches (throughput %.1f fps, drop rate %.1f%%, degraded %d)\n",
+		fl.Served, fl.Arrived, r.Batches, fl.Throughput, 100*fl.DropRate, fl.Degraded)
 	fmt.Fprintf(w, "latency:     p50 %s  p95 %s  p99 %s  max %s  (mean %s)\n",
 		ms(fl.Latency.P50), ms(fl.Latency.P95), ms(fl.Latency.P99), ms(fl.Latency.Max), ms(fl.Latency.Mean))
-	fmt.Fprintf(w, "queue:       avg depth %.2f, max %d; executor utilization %.1f%%\n",
-		r.AvgQueueDepth, r.MaxQueueDepth, 100*r.Utilization)
+	fmt.Fprintf(w, "queue:       avg depth %.2f, max %d; executor utilization %.1f%%; makespan %.2fs\n",
+		r.AvgQueueDepth, r.MaxQueueDepth, 100*r.Utilization, r.LastEventAt)
+	if len(r.PerClass) > 0 {
+		fmt.Fprintln(w, "per-class:")
+		for _, st := range r.PerClass {
+			fmt.Fprintf(w, "  %-18s served %4d/%-4d  drop %5.1f%%  p50 %8s  p99 %8s\n",
+				st.ID, st.Served, st.Arrived, 100*st.DropRate, ms(st.Latency.P50), ms(st.Latency.P99))
+		}
+	}
 	fmt.Fprintln(w, "per-stream:")
 	for _, st := range r.PerStream {
 		fmt.Fprintf(w, "  %-18s served %4d/%-4d  drop %5.1f%%  p50 %8s  p99 %8s\n",

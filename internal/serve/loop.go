@@ -2,13 +2,16 @@ package serve
 
 import (
 	"container/heap"
+	"fmt"
 	"math/rand"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/detector"
 	"repro/internal/gpumodel"
 	"repro/internal/ops"
+	"repro/internal/serve/sched"
 	"repro/internal/sim"
 	"repro/internal/video"
 )
@@ -22,8 +25,9 @@ const (
 
 // event is one entry of the virtual-clock agenda. (t, kind, stream,
 // frame) is a total order — a stream never has two events of the same
-// kind for the same frame — so heap order, and with it the whole
-// simulation, is deterministic.
+// kind for the same frame (a batch completion is keyed by its first
+// frame) — so heap order, and with it the whole simulation, is
+// deterministic.
 type event struct {
 	t             float64
 	kind          int
@@ -51,10 +55,11 @@ func (a *agenda) Pop() any     { old := *a; n := len(old); e := old[n-1]; *a = o
 func (a *agenda) add(e event)  { heap.Push(a, e) }
 func (a *agenda) next() event  { return heap.Pop(a).(event) }
 
-// job is a frame waiting in (or admitted from) the shared queue.
-type job struct {
-	stream, frame int
-	arrive        float64
+// admitted is one frame an executor pulled from the scheduler,
+// together with the degrade decision taken at its admission.
+type admitted struct {
+	job      sched.Job
+	degraded bool
 }
 
 // streamAcc accumulates one stream's counters during the run.
@@ -67,24 +72,28 @@ type streamAcc struct {
 
 // arrivalTimes precomputes every stream's frame arrival instants within
 // cfg.Duration. The schedule depends only on (seed, stream index,
-// arrival process), never on executors or policies, so changing the
-// fleet shape replays the exact same offered load.
+// arrival process, rate), never on executors or policies, so changing
+// the fleet shape replays the exact same offered load.
 func arrivalTimes(cfg Config) [][]float64 {
 	out := make([][]float64, cfg.Streams)
 	for s := range out {
+		rate := cfg.FPS
+		if len(cfg.StreamFPS) > 0 {
+			rate = cfg.StreamFPS[s]
+		}
 		rng := rand.New(rand.NewSource(cfg.Seed*2_654_435 + int64(s)*104_729 + 37))
 		var ts []float64
 		switch cfg.Arrivals {
 		case Poisson:
-			t := rng.ExpFloat64() / cfg.FPS
+			t := rng.ExpFloat64() / rate
 			for t < cfg.Duration {
 				ts = append(ts, t)
-				t += rng.ExpFloat64() / cfg.FPS
+				t += rng.ExpFloat64() / rate
 			}
 		default: // FixedFPS
-			phase := rng.Float64() / cfg.FPS
+			phase := rng.Float64() / rate
 			for k := 0; ; k++ {
-				t := phase + float64(k)/cfg.FPS
+				t := phase + float64(k)/rate
 				if t >= cfg.Duration {
 					break
 				}
@@ -105,9 +114,10 @@ type fleet struct {
 	sessions []core.System
 	seqs     []*dataset.Sequence
 
-	agenda agenda
-	queue  []job // shared FIFO; index 0 is the oldest waiting frame
-	busy   int
+	agenda  agenda
+	sched   sched.Scheduler
+	busy    int
+	batches int
 
 	now, lastT        float64
 	depthInt, busyInt float64 // time integrals of queue depth / busy executors
@@ -120,87 +130,141 @@ type fleet struct {
 // busy-executor curves over the elapsed interval.
 func (f *fleet) tick(t float64) {
 	dt := t - f.lastT
-	f.depthInt += dt * float64(len(f.queue))
+	f.depthInt += dt * float64(f.sched.Len())
 	f.busyInt += dt * float64(f.busy)
 	f.lastT = t
 	f.now = t
 }
 
-// enqueue admits an arriving frame to the shared queue, applying the
-// overflow policy when the cap is exceeded.
-func (f *fleet) enqueue(j job) {
-	f.queue = append(f.queue, j)
-	if f.cfg.QueueCap >= 0 && len(f.queue) > f.cfg.QueueCap {
-		switch f.cfg.Drop {
-		case DropNewest:
-			victim := f.queue[len(f.queue)-1]
-			f.queue = f.queue[:len(f.queue)-1]
-			f.acc[victim.stream].droppedQueue++
-		default: // DropOldest
-			victim := f.queue[0]
-			f.queue = f.queue[1:]
-			f.acc[victim.stream].droppedQueue++
-		}
+// admit offers an arriving frame to the scheduler and charges the
+// victim, if the policy evicted one to stay under the cap.
+func (f *fleet) admit(j sched.Job) {
+	if victim, dropped := f.sched.Admit(j); dropped {
+		f.acc[victim.Stream].droppedQueue++
 	}
-	if len(f.queue) > f.maxDepth {
-		f.maxDepth = len(f.queue)
+	if d := f.sched.Len(); d > f.maxDepth {
+		f.maxDepth = d
 	}
 }
 
 // dispatch hands queued frames to idle executors until one of the two
-// runs out. Stale frames are skipped at admission; the degrade policy
-// looks at how many frames are still waiting behind the admitted one.
+// runs out. Each dispatch gathers up to BatchSize frames into one
+// launch; stale frames are skipped at admission, and the degrade
+// policy looks at how many frames are still waiting behind the
+// admitted one.
 func (f *fleet) dispatch() {
-	for f.busy < f.cfg.Executors && len(f.queue) > 0 {
-		j := f.queue[0]
-		f.queue = f.queue[1:]
-		if f.cfg.MaxStaleness > 0 && f.now-j.arrive > f.cfg.MaxStaleness {
-			f.acc[j.stream].droppedStale++
-			continue
+	for f.busy < f.cfg.Executors && f.sched.Len() > 0 {
+		batch := f.gather()
+		if len(batch) == 0 {
+			continue // every candidate was stale; re-check the queue
 		}
-		degraded := f.cascade && f.cfg.DegradeDepth > 0 && len(f.queue) >= f.cfg.DegradeDepth
-		service := f.serve(j, degraded)
+		service := f.serveBatch(batch)
 		if service > f.maxService {
 			f.maxService = service
 		}
 		f.busy++
-		f.agenda.add(event{t: f.now + service, kind: evCompletion, stream: j.stream, frame: j.frame})
-		a := &f.acc[j.stream]
-		a.served++
-		if degraded {
-			a.degraded++
+		f.batches++
+		head := batch[0].job
+		f.agenda.add(event{t: f.now + service, kind: evCompletion, stream: head.Stream, frame: head.Frame})
+		for _, adm := range batch {
+			a := &f.acc[adm.job.Stream]
+			a.served++
+			if adm.degraded {
+				a.degraded++
+			}
+			a.latencies = append(a.latencies, f.now+service-adm.job.Arrive)
 		}
-		a.latencies = append(a.latencies, f.now+service-j.arrive)
 	}
 }
 
-// serve steps the stream's session on the admitted frame and prices the
-// service time with the GPU model. Sessions are stepped in per-stream
-// arrival order (the FIFO queue preserves it), which keeps the tracker
-// causal; dropped frames are simply never seen, so the tracker coasts
-// across them.
+// gather pulls up to BatchSize servable frames from the scheduler,
+// applying the stale-skip and degrade policies per frame as it pops.
+func (f *fleet) gather() []admitted {
+	var batch []admitted
+	for len(batch) < f.cfg.BatchSize && f.sched.Len() > 0 {
+		j, ok := f.sched.Next()
+		if !ok {
+			break
+		}
+		if f.cfg.MaxStaleness > 0 && f.now-j.Arrive > f.cfg.MaxStaleness {
+			f.acc[j.Stream].droppedStale++
+			continue
+		}
+		degraded := f.cascade && f.cfg.DegradeDepth > 0 && f.sched.Len() >= f.cfg.DegradeDepth
+		batch = append(batch, admitted{job: j, degraded: degraded})
+	}
+	return batch
+}
+
+// step advances the frame's stream session. Sessions are stepped in
+// per-stream arrival order (every scheduler preserves it), which keeps
+// the tracker causal; dropped frames are simply never seen, so the
+// tracker coasts across them.
+func (f *fleet) step(j sched.Job) core.FrameOutput {
+	seq := f.seqs[j.Stream]
+	return f.sessions[j.Stream].Step(detector.Frame{
+		SeqID:   seq.ID,
+		Index:   j.Frame,
+		Width:   seq.Width,
+		Height:  seq.Height,
+		Objects: seq.Frames[j.Frame].Objects,
+	})
+}
+
+// serveBatch steps every frame of the batch and prices the dispatch.
+// A single-frame dispatch under BatchSize 1 keeps the per-frame,
+// launch-by-launch pricing of PR 2 (byte-identical results); larger
+// batches fuse into one launch via gpumodel.Model.BatchFrames.
+func (f *fleet) serveBatch(batch []admitted) float64 {
+	if f.cfg.BatchSize <= 1 {
+		return f.serveOne(batch[0])
+	}
+	works := make([]float64, len(batch))
+	for i, adm := range batch {
+		works[i] = f.stepWork(adm.job, adm.degraded)
+	}
+	cpu := f.gpu.CPUOverheadCaTDet
+	if !f.cascade {
+		cpu = f.gpu.CPUOverheadSingle
+	}
+	return f.gpu.BatchFrames(works, cpu).Total
+}
+
+// serveOne prices one frame as its own dispatch, launch by launch.
 //
 // Degraded frames are a timing-model shed only: the session still
 // steps in full (the tracker keeps its refinement-fed state) and just
 // the price switches to the proposal-only launch — see
 // Config.DegradeDepth for what that does and does not model.
-func (f *fleet) serve(j job, degraded bool) float64 {
-	seq := f.seqs[j.stream]
-	out := f.sessions[j.stream].Step(detector.Frame{
-		SeqID:   seq.ID,
-		Index:   j.frame,
-		Width:   seq.Width,
-		Height:  seq.Height,
-		Objects: seq.Frames[j.frame].Objects,
-	})
+func (f *fleet) serveOne(adm admitted) float64 {
+	out := f.step(adm.job)
+	seq := f.seqs[adm.job.Stream]
 	switch {
 	case !f.cascade:
 		return f.gpu.SingleModelFrame(out.Ops.Refinement).Total
-	case degraded:
+	case adm.degraded:
 		return f.gpu.ProposalOnlyFrame(out.Ops.Proposal).Total
 	default:
 		return f.gpu.CaTDetFrame(out.Ops.Proposal, out.Regions,
 			float64(seq.Width), float64(seq.Height), f.refCost, out.NumProposals).Total
+	}
+}
+
+// stepWork steps the frame's session and returns the frame's total
+// operations for batched pricing: the full workload that one fused
+// launch must execute for this frame.
+func (f *fleet) stepWork(j sched.Job, degraded bool) float64 {
+	out := f.step(j)
+	seq := f.seqs[j.Stream]
+	switch {
+	case !f.cascade:
+		return out.Ops.Refinement
+	case degraded:
+		return out.Ops.Proposal
+	default:
+		ft := f.gpu.CaTDetFrame(out.Ops.Proposal, out.Regions,
+			float64(seq.Width), float64(seq.Height), f.refCost, out.NumProposals)
+		return out.Ops.Proposal + ft.MergedWorkload
 	}
 }
 
@@ -230,6 +294,14 @@ func Run(cfg Config) (*Result, error) {
 	f := &fleet{cfg: cfg, gpu: gpumodel.Default(), cascade: cfg.Spec.Kind != sim.Single}
 	if cfg.GPU != nil {
 		f.gpu = *cfg.GPU
+	}
+	f.sched, err = sched.New(cfg.Scheduler, sched.Config{
+		Cap:        cfg.QueueCap,
+		DropNewest: cfg.Drop == DropNewest,
+		Streams:    cfg.Streams,
+	})
+	if err != nil {
+		return nil, err
 	}
 	if f.cascade {
 		ref, err := detector.New(cfg.Spec.Refinement)
@@ -264,7 +336,7 @@ func Run(cfg Config) (*Result, error) {
 		switch e.kind {
 		case evArrival:
 			f.acc[e.stream].arrived++
-			f.enqueue(job{stream: e.stream, frame: e.frame, arrive: e.t})
+			f.admit(f.job(e.stream, e.frame, e.t))
 		case evCompletion:
 			f.busy--
 		}
@@ -274,8 +346,24 @@ func Run(cfg Config) (*Result, error) {
 	return f.result(ds), nil
 }
 
+// job builds the scheduler job for an arriving frame: the deadline is
+// arrive + MaxStaleness (arrive itself when staleness is off), and the
+// class is the stream's configured priority.
+func (f *fleet) job(stream, frame int, arrive float64) sched.Job {
+	j := sched.Job{Stream: stream, Frame: frame, Arrive: arrive, Deadline: arrive}
+	if f.cfg.MaxStaleness > 0 {
+		j.Deadline += f.cfg.MaxStaleness
+	}
+	if len(f.cfg.Priorities) > 0 {
+		j.Class = f.cfg.Priorities[stream]
+	}
+	return j
+}
+
 // result folds the accumulated counters into the Result, in stream
-// order.
+// order. Every time-averaged metric — throughput, average queue
+// depth, utilization — is normalized over the makespan (LastEventAt),
+// the one shared horizon.
 func (f *fleet) result(ds *dataset.Dataset) *Result {
 	cfg := f.cfg
 	r := &Result{
@@ -283,18 +371,31 @@ func (f *fleet) result(ds *dataset.Dataset) *Result {
 		Seed:          cfg.Seed,
 		Streams:       cfg.Streams,
 		FPS:           cfg.FPS,
+		StreamFPS:     cfg.StreamFPS,
 		Arrivals:      cfg.Arrivals,
 		Duration:      cfg.Duration,
 		Executors:     cfg.Executors,
+		Scheduler:     cfg.Scheduler,
+		Priorities:    cfg.Priorities,
+		BatchSize:     cfg.BatchSize,
 		QueueCap:      cfg.QueueCap,
 		Drop:          cfg.Drop,
 		MaxStaleness:  cfg.MaxStaleness,
 		DegradeDepth:  cfg.DegradeDepth,
+		LastEventAt:   f.lastT,
+		Batches:       f.batches,
 		MaxQueueDepth: f.maxDepth,
 		MaxService:    f.maxService,
 	}
 	if len(f.sessions) > 0 {
 		r.System = f.sessions[0].Name()
+	}
+	horizon := f.lastT
+	rate := func(n int) float64 {
+		if horizon <= 0 {
+			return 0
+		}
+		return float64(n) / horizon
 	}
 	var all []float64
 	fleetRow := StreamStats{ID: "fleet"}
@@ -307,7 +408,7 @@ func (f *fleet) result(ds *dataset.Dataset) *Result {
 			DroppedQueue: a.droppedQueue,
 			DroppedStale: a.droppedStale,
 			Degraded:     a.degraded,
-			Throughput:   float64(a.served) / cfg.Duration,
+			Throughput:   rate(a.served),
 			Latency:      Summarize(a.latencies),
 		}
 		if a.arrived > 0 {
@@ -321,15 +422,60 @@ func (f *fleet) result(ds *dataset.Dataset) *Result {
 		fleetRow.Degraded += a.degraded
 		all = append(all, a.latencies...)
 	}
-	fleetRow.Throughput = float64(fleetRow.Served) / cfg.Duration
+	fleetRow.Throughput = rate(fleetRow.Served)
 	if fleetRow.Arrived > 0 {
 		fleetRow.DropRate = float64(fleetRow.DroppedQueue+fleetRow.DroppedStale) / float64(fleetRow.Arrived)
 	}
 	fleetRow.Latency = Summarize(all)
 	r.Fleet = fleetRow
-	if f.lastT > 0 {
-		r.AvgQueueDepth = f.depthInt / f.lastT
-		r.Utilization = f.busyInt / (f.lastT * float64(cfg.Executors))
+	if cfg.Scheduler == sched.Priority {
+		r.PerClass = f.perClass(rate)
+	}
+	if horizon > 0 {
+		r.AvgQueueDepth = f.depthInt / horizon
+		r.Utilization = f.busyInt / (horizon * float64(cfg.Executors))
 	}
 	return r
+}
+
+// perClass aggregates the per-stream counters by priority class,
+// highest class first.
+func (f *fleet) perClass(rate func(int) float64) []StreamStats {
+	classOf := func(s int) int {
+		if len(f.cfg.Priorities) > 0 {
+			return f.cfg.Priorities[s]
+		}
+		return 0
+	}
+	classes := map[int]*StreamStats{}
+	var order []int
+	var lats = map[int][]float64{}
+	for s := range f.acc {
+		c := classOf(s)
+		row, ok := classes[c]
+		if !ok {
+			row = &StreamStats{ID: fmt.Sprintf("class-%d", c)}
+			classes[c] = row
+			order = append(order, c)
+		}
+		a := &f.acc[s]
+		row.Arrived += a.arrived
+		row.Served += a.served
+		row.DroppedQueue += a.droppedQueue
+		row.DroppedStale += a.droppedStale
+		row.Degraded += a.degraded
+		lats[c] = append(lats[c], a.latencies...)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(order)))
+	out := make([]StreamStats, 0, len(order))
+	for _, c := range order {
+		row := classes[c]
+		row.Throughput = rate(row.Served)
+		if row.Arrived > 0 {
+			row.DropRate = float64(row.DroppedQueue+row.DroppedStale) / float64(row.Arrived)
+		}
+		row.Latency = Summarize(lats[c])
+		out = append(out, *row)
+	}
+	return out
 }

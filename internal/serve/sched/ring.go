@@ -1,0 +1,52 @@
+package sched
+
+// ring is a FIFO of jobs on a circular buffer: push/pop are O(1) with
+// no per-wraparound reallocation, unlike the seed's `q = q[1:]` +
+// append pattern, which churned the backing array every time the
+// slice's spare capacity ran out.
+type ring struct {
+	buf  []Job
+	head int // index of the oldest job
+	n    int // number of jobs held
+}
+
+func (r *ring) len() int { return r.n }
+
+// pushBack appends a job, growing the buffer when full.
+func (r *ring) pushBack(j Job) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = j
+	r.n++
+}
+
+// popFront removes and returns the oldest job; ok=false when empty.
+func (r *ring) popFront() (Job, bool) {
+	if r.n == 0 {
+		return Job{}, false
+	}
+	j := r.buf[r.head]
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return j, true
+}
+
+// popBack removes and returns the newest job; ok=false when empty.
+func (r *ring) popBack() (Job, bool) {
+	if r.n == 0 {
+		return Job{}, false
+	}
+	r.n--
+	return r.buf[(r.head+r.n)%len(r.buf)], true
+}
+
+// grow doubles the buffer, compacting the live window to the front.
+func (r *ring) grow() {
+	next := make([]Job, max(2*len(r.buf), 8))
+	for i := 0; i < r.n; i++ {
+		next[i] = r.buf[(r.head+i)%len(r.buf)]
+	}
+	r.buf = next
+	r.head = 0
+}

@@ -1,0 +1,255 @@
+package sched
+
+import "testing"
+
+func job(stream, frame int, arrive, deadline float64, class int) Job {
+	return Job{Stream: stream, Frame: frame, Arrive: arrive, Deadline: deadline, Class: class}
+}
+
+// --- ring ---
+
+// TestRingWraparound pushes and pops across many wrap cycles and
+// checks FIFO order and the head/tail pops, with no reallocation
+// once the buffer has grown to the working-set size.
+func TestRingWraparound(t *testing.T) {
+	var r ring
+	next, out := 0, 0
+	for cycle := 0; cycle < 100; cycle++ {
+		for i := 0; i < 5; i++ {
+			r.pushBack(job(0, next, 0, 0, 0))
+			next++
+		}
+		for i := 0; i < 5; i++ {
+			j, ok := r.popFront()
+			if !ok || j.Frame != out {
+				t.Fatalf("cycle %d: popFront = (%v,%v), want frame %d", cycle, j.Frame, ok, out)
+			}
+			out++
+		}
+	}
+	if r.len() != 0 {
+		t.Fatalf("ring not empty after drain: len=%d", r.len())
+	}
+	if cap := len(r.buf); cap > 8 {
+		t.Errorf("steady-state working set of 5 grew the buffer to %d", cap)
+	}
+}
+
+func TestRingPopBack(t *testing.T) {
+	var r ring
+	for i := 0; i < 4; i++ {
+		r.pushBack(job(0, i, 0, 0, 0))
+	}
+	if j, ok := r.popBack(); !ok || j.Frame != 3 {
+		t.Fatalf("popBack = (%v,%v), want frame 3", j.Frame, ok)
+	}
+	if j, ok := r.popFront(); !ok || j.Frame != 0 {
+		t.Fatalf("popFront = (%v,%v), want frame 0", j.Frame, ok)
+	}
+	if r.len() != 2 {
+		t.Fatalf("len = %d, want 2", r.len())
+	}
+	if _, ok := (&ring{}).popFront(); ok {
+		t.Error("popFront on empty ring reported ok")
+	}
+	if _, ok := (&ring{}).popBack(); ok {
+		t.Error("popBack on empty ring reported ok")
+	}
+}
+
+// --- fifo ---
+
+// TestFIFOSemantics pins the seed behavior the fifo scheduler
+// extracts: arrival order service, head eviction under drop-oldest,
+// arrival rejection under drop-newest.
+func TestFIFOSemantics(t *testing.T) {
+	s, err := New(FIFO, Config{Cap: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, dropped := s.Admit(job(0, i, float64(i), 0, 0)); dropped {
+			t.Fatalf("admit %d dropped under cap", i)
+		}
+	}
+	v, dropped := s.Admit(job(0, 2, 2, 0, 0))
+	if !dropped || v.Frame != 0 {
+		t.Fatalf("drop-oldest evicted (%v,%v), want frame 0", v.Frame, dropped)
+	}
+	if j, _ := s.Next(); j.Frame != 1 {
+		t.Fatalf("Next = frame %d, want 1", j.Frame)
+	}
+
+	s, _ = New(FIFO, Config{Cap: 2, DropNewest: true})
+	s.Admit(job(0, 0, 0, 0, 0))
+	s.Admit(job(0, 1, 1, 0, 0))
+	v, dropped = s.Admit(job(0, 2, 2, 0, 0))
+	if !dropped || v.Frame != 2 {
+		t.Fatalf("drop-newest evicted (%v,%v), want the arrival (frame 2)", v.Frame, dropped)
+	}
+	if j, _ := s.Next(); j.Frame != 0 {
+		t.Fatalf("Next = frame %d, want 0", j.Frame)
+	}
+}
+
+// --- fair ---
+
+// TestFairRoundRobin checks the unit-quantum DRR order: one frame per
+// non-empty stream per cycle, in stream order.
+func TestFairRoundRobin(t *testing.T) {
+	s, _ := New(Fair, Config{Cap: -1, Streams: 3})
+	// Stream 0 is bursty; streams 1 and 2 have one frame each.
+	for i := 0; i < 4; i++ {
+		s.Admit(job(0, i, float64(i), 0, 0))
+	}
+	s.Admit(job(1, 0, 10, 0, 0))
+	s.Admit(job(2, 0, 11, 0, 0))
+
+	var got []int
+	for {
+		j, ok := s.Next()
+		if !ok {
+			break
+		}
+		got = append(got, j.Stream)
+	}
+	want := []int{0, 1, 2, 0, 0, 0}
+	if len(got) != len(want) {
+		t.Fatalf("served %d jobs, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("service order %v, want %v", got, want)
+		}
+	}
+}
+
+// TestFairEvictsLongestQueue checks overflow lands on the burstiest
+// stream, not the arrival.
+func TestFairEvictsLongestQueue(t *testing.T) {
+	s, _ := New(Fair, Config{Cap: 3, Streams: 2})
+	s.Admit(job(0, 0, 0, 0, 0))
+	s.Admit(job(0, 1, 1, 0, 0))
+	s.Admit(job(0, 2, 2, 0, 0))
+	v, dropped := s.Admit(job(1, 0, 3, 0, 0))
+	if !dropped || v.Stream != 0 || v.Frame != 0 {
+		t.Fatalf("evicted stream %d frame %d, want the hot stream's oldest (0,0)", v.Stream, v.Frame)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+}
+
+// --- priority ---
+
+// TestPriorityOrder checks strict class order with FIFO within class,
+// and that overflow evicts from the lowest class.
+func TestPriorityOrder(t *testing.T) {
+	s, _ := New(Priority, Config{Cap: -1})
+	s.Admit(job(0, 0, 0, 0, 0)) // low class
+	s.Admit(job(1, 0, 1, 0, 2)) // high class
+	s.Admit(job(1, 1, 2, 0, 2))
+	s.Admit(job(2, 0, 3, 0, 1))
+
+	wantStreams := []int{1, 1, 2, 0}
+	for i, want := range wantStreams {
+		j, ok := s.Next()
+		if !ok || j.Stream != want {
+			t.Fatalf("pop %d = stream %d, want %d", i, j.Stream, want)
+		}
+	}
+}
+
+func TestPriorityEvictsLowestClass(t *testing.T) {
+	s, _ := New(Priority, Config{Cap: 2})
+	s.Admit(job(0, 0, 0, 0, 0))
+	s.Admit(job(1, 0, 1, 0, 5))
+	v, dropped := s.Admit(job(1, 1, 2, 0, 5))
+	if !dropped || v.Stream != 0 {
+		t.Fatalf("evicted stream %d class %d, want the class-0 job", v.Stream, v.Class)
+	}
+	// Only high-class jobs remain; the next overflow victim is the
+	// oldest within that class.
+	v, dropped = s.Admit(job(1, 2, 3, 0, 5))
+	if !dropped || v.Frame != 0 {
+		t.Fatalf("evicted frame %d, want the oldest high-class frame 0", v.Frame)
+	}
+}
+
+// --- edf ---
+
+// TestEDFOrder checks deadline order regardless of arrival order, and
+// that overflow evicts the earliest deadline.
+func TestEDFOrder(t *testing.T) {
+	s, _ := New(EDF, Config{Cap: -1})
+	s.Admit(job(0, 0, 0, 9, 0))
+	s.Admit(job(1, 0, 1, 3, 0))
+	s.Admit(job(2, 0, 2, 6, 0))
+
+	wantDeadlines := []float64{3, 6, 9}
+	for i, want := range wantDeadlines {
+		j, ok := s.Next()
+		if !ok || j.Deadline != want {
+			t.Fatalf("pop %d deadline = %v, want %v", i, j.Deadline, want)
+		}
+	}
+
+	s, _ = New(EDF, Config{Cap: 2})
+	s.Admit(job(0, 0, 0, 9, 0))
+	s.Admit(job(1, 0, 1, 3, 0))
+	v, dropped := s.Admit(job(2, 0, 2, 6, 0))
+	if !dropped || v.Deadline != 3 {
+		t.Fatalf("evicted deadline %v, want the earliest (3)", v.Deadline)
+	}
+}
+
+// --- shared ---
+
+func TestUnknownKind(t *testing.T) {
+	if _, err := New("lifo", Config{}); err == nil {
+		t.Error("New accepted an unknown scheduler kind")
+	}
+}
+
+// TestUnboundedCap checks negative caps never evict.
+func TestUnboundedCap(t *testing.T) {
+	for _, kind := range []Kind{FIFO, Fair, Priority, EDF} {
+		s, err := New(kind, Config{Cap: -1, Streams: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 1000; i++ {
+			if _, dropped := s.Admit(job(0, i, float64(i), float64(i), 0)); dropped {
+				t.Fatalf("%s: unbounded queue evicted at %d", kind, i)
+			}
+		}
+		if s.Len() != 1000 {
+			t.Fatalf("%s: Len = %d, want 1000", kind, s.Len())
+		}
+	}
+}
+
+// TestPerStreamOrder checks every policy preserves a stream's arrival
+// order — the property that keeps tracker sessions causal.
+func TestPerStreamOrder(t *testing.T) {
+	for _, kind := range []Kind{FIFO, Fair, Priority, EDF} {
+		s, _ := New(kind, Config{Cap: -1, Streams: 3})
+		for f := 0; f < 5; f++ {
+			for st := 0; st < 3; st++ {
+				arrive := float64(f*3 + st)
+				s.Admit(job(st, f, arrive, arrive+1, st%2))
+			}
+		}
+		last := map[int]int{0: -1, 1: -1, 2: -1}
+		for {
+			j, ok := s.Next()
+			if !ok {
+				break
+			}
+			if j.Frame <= last[j.Stream] {
+				t.Fatalf("%s: stream %d served frame %d after frame %d", kind, j.Stream, j.Frame, last[j.Stream])
+			}
+			last[j.Stream] = j.Frame
+		}
+	}
+}

@@ -5,9 +5,14 @@
 // frames on a seeded arrival process; frames queue for a configurable
 // number of GPU executors whose per-frame service time comes from the
 // Appendix I gpumodel (region merging and launch overhead included).
-// Backpressure policies — queue cap with drop-oldest/drop-newest,
-// stale-frame skip, degrade-to-proposal-only under overload — shape the
-// tail, and the simulator accumulates per-stream and fleet-wide
+// A pluggable scheduler (package sched: fifo, fair, priority, edf)
+// decides which waiting frame runs next and which one a full queue
+// evicts, and executors can fuse up to BatchSize frames into one
+// batched launch (gpumodel.Model.BatchFrames), amortizing the
+// per-launch constant across frames. Backpressure policies — queue
+// cap with drop-oldest/drop-newest, stale-frame skip,
+// degrade-to-proposal-only under overload — shape the tail, and the
+// simulator accumulates per-stream, per-class and fleet-wide
 // throughput, drop rate, queue depth and p50/p95/p99 end-to-end
 // latency.
 //
@@ -20,6 +25,7 @@ import (
 	"fmt"
 
 	"repro/internal/gpumodel"
+	"repro/internal/serve/sched"
 	"repro/internal/sim"
 	"repro/internal/video"
 )
@@ -72,6 +78,21 @@ type Config struct {
 	// frame content and arrival cadence agree.
 	FPS float64
 
+	// StreamFPS overrides the arrival rate per stream (heterogeneous
+	// load, e.g. one hot stream among quiet ones). Empty means every
+	// stream arrives at FPS; when set, its length must equal Streams
+	// and every rate must be positive.
+	//
+	// The override applies to the arrival cadence only: world content
+	// is still generated at FPS, so a stream arriving faster than FPS
+	// replays correspondingly faster object motion (and vice versa).
+	// That skews its tracker dynamics and service times relative to
+	// same-rate streams — acceptable for load-shape studies (the
+	// queueing comparisons this knob exists for), but the per-frame
+	// costs of rate-overridden streams are not calibrated against the
+	// offline tables.
+	StreamFPS []float64
+
 	// Arrivals selects the arrival process (default FixedFPS).
 	Arrivals ArrivalKind
 
@@ -79,9 +100,29 @@ type Config struct {
 	// Frames in flight when the load ends are drained and counted.
 	Duration float64
 
-	// Executors is the number of identical GPU executors fed from one
-	// shared FIFO queue (default 1).
+	// Executors is the number of identical GPU executors fed from the
+	// scheduler (default 1).
 	Executors int
+
+	// Scheduler selects the queue discipline deciding which waiting
+	// frame an idle executor serves next and which frame a full queue
+	// evicts (default sched.FIFO; see package sched for the policies).
+	Scheduler sched.Kind
+
+	// Priorities assigns each stream a priority class (higher is
+	// served first); only the priority scheduler reads it. Empty
+	// means every stream is class 0; when set, its length must equal
+	// Streams.
+	Priorities []int
+
+	// BatchSize is the maximum number of queued frames one executor
+	// fuses into a single batched launch (default 1: the per-frame
+	// service of PR 2, priced launch by launch). At 2+, a dispatch
+	// gathers up to this many frames and prices them as one launch
+	// via gpumodel.Model.BatchFrames — alpha*ΣW + b — amortizing the
+	// per-launch constant b across the batch exactly like region
+	// merging amortizes it across regions within a frame.
+	BatchSize int
 
 	// QueueCap bounds the number of frames waiting in the shared
 	// queue (frames in service excluded). 0 means 4*Streams; negative
@@ -141,8 +182,32 @@ func (c Config) withDefaults() (Config, error) {
 	if c.Duration <= 0 {
 		c.Duration = 30
 	}
+	if len(c.StreamFPS) > 0 {
+		if len(c.StreamFPS) != c.Streams {
+			return c, fmt.Errorf("serve: StreamFPS has %d entries for %d streams", len(c.StreamFPS), c.Streams)
+		}
+		for s, fps := range c.StreamFPS {
+			if fps <= 0 {
+				return c, fmt.Errorf("serve: StreamFPS[%d] = %v must be positive", s, fps)
+			}
+		}
+	}
 	if c.Executors <= 0 {
 		c.Executors = 1
+	}
+	if c.Scheduler == "" {
+		c.Scheduler = sched.FIFO
+	}
+	switch c.Scheduler {
+	case sched.FIFO, sched.Fair, sched.Priority, sched.EDF:
+	default:
+		return c, fmt.Errorf("serve: unknown scheduler %q", c.Scheduler)
+	}
+	if len(c.Priorities) > 0 && len(c.Priorities) != c.Streams {
+		return c, fmt.Errorf("serve: Priorities has %d entries for %d streams", len(c.Priorities), c.Streams)
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 1
 	}
 	if c.QueueCap == 0 {
 		c.QueueCap = 4 * c.Streams
@@ -174,8 +239,12 @@ type StreamStats struct {
 	DroppedStale int `json:"dropped_stale"`
 	// Degraded counts served frames that ran proposal-only.
 	Degraded int `json:"degraded"`
-	// Throughput is Served divided by the offered Duration, in
-	// frames per second.
+	// Throughput is Served divided by the scenario makespan
+	// (Result.LastEventAt), in frames per second. The makespan — not
+	// Duration — is the horizon of every time-averaged metric: under
+	// overload the drain of in-flight frames extends service well
+	// past the offered-load window, and dividing by Duration would
+	// overstate the rate the fleet actually sustained.
 	Throughput float64 `json:"throughput_fps"`
 	// DropRate is (DroppedQueue+DroppedStale)/Arrived.
 	DropRate float64 `json:"drop_rate"`
@@ -194,9 +263,13 @@ type Result struct {
 	Seed         int64       `json:"seed"`
 	Streams      int         `json:"streams"`
 	FPS          float64     `json:"fps"`
+	StreamFPS    []float64   `json:"stream_fps,omitempty"`
 	Arrivals     ArrivalKind `json:"arrivals"`
 	Duration     float64     `json:"duration_s"`
 	Executors    int         `json:"executors"`
+	Scheduler    sched.Kind  `json:"scheduler"`
+	Priorities   []int       `json:"priorities,omitempty"`
+	BatchSize    int         `json:"batch_size"`
 	QueueCap     int         `json:"queue_cap"`
 	Drop         DropKind    `json:"drop_policy"`
 	MaxStaleness float64     `json:"max_staleness_s"`
@@ -206,11 +279,48 @@ type Result struct {
 	Fleet     StreamStats   `json:"fleet"`
 	PerStream []StreamStats `json:"per_stream"`
 
+	// PerClass aggregates streams by priority class, highest class
+	// first (IDs are "class-N"). Present only under the priority
+	// scheduler.
+	PerClass []StreamStats `json:"per_class,omitempty"`
+
+	// LastEventAt is the scenario makespan: the virtual time of the
+	// last event (the final drain completion under overload, the
+	// last arrival otherwise). Throughput, AvgQueueDepth and
+	// Utilization are all normalized over [0, LastEventAt] — one
+	// shared horizon, so the three metrics are mutually consistent.
+	LastEventAt float64 `json:"last_event_at_s"`
+
+	// Batches counts executor dispatches (batched launches); with
+	// BatchSize 1 it equals Fleet.Served.
+	Batches int `json:"batches"`
+
 	// Queue and executor diagnostics: time-weighted mean and peak
 	// depth of the shared queue, busy fraction of the executors, and
-	// the largest single service time observed.
+	// the largest single service time observed. The time averages
+	// integrate over the makespan (LastEventAt).
 	AvgQueueDepth float64 `json:"avg_queue_depth"`
 	MaxQueueDepth int     `json:"max_queue_depth"`
 	Utilization   float64 `json:"utilization"`
 	MaxService    float64 `json:"max_service_s"`
+}
+
+// DropSpread is the max-min spread of the per-stream drop rates: the
+// fairness headline of a scenario. 0 means every stream shed the same
+// fraction of its offered load; a large spread means the scheduler let
+// some streams starve while others sailed through.
+func (r *Result) DropSpread() float64 {
+	if len(r.PerStream) == 0 {
+		return 0
+	}
+	lo, hi := r.PerStream[0].DropRate, r.PerStream[0].DropRate
+	for _, st := range r.PerStream[1:] {
+		if st.DropRate < lo {
+			lo = st.DropRate
+		}
+		if st.DropRate > hi {
+			hi = st.DropRate
+		}
+	}
+	return hi - lo
 }

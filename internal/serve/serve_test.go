@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/serve/sched"
 	"repro/internal/sim"
 	"repro/internal/video"
 )
@@ -45,18 +46,29 @@ func marshal(t *testing.T, r *Result) []byte {
 	return b
 }
 
-// TestDeterminism reruns the same scenario at 1, 2 and 8 executors and
-// requires byte-identical JSON each time: the event loop has no hidden
+// TestDeterminism reruns the same scenario under every scheduler, at
+// 1, 2 and 8 executors and at batch sizes 1 and 4, and requires
+// byte-identical JSON each time: no policy's event loop has hidden
 // scheduling, wall-clock or map-order dependence.
 func TestDeterminism(t *testing.T) {
-	for _, executors := range []int{1, 2, 8} {
-		cfg := testConfig()
-		cfg.Executors = executors
-		first := marshal(t, mustRun(t, cfg))
-		again := marshal(t, mustRun(t, cfg))
-		if !bytes.Equal(first, again) {
-			t.Errorf("executors=%d: rerun not byte-identical\n first: %s\nsecond: %s",
-				executors, first, again)
+	for _, kind := range []sched.Kind{sched.FIFO, sched.Fair, sched.Priority, sched.EDF} {
+		for _, executors := range []int{1, 2, 8} {
+			for _, batch := range []int{1, 4} {
+				cfg := testConfig()
+				cfg.Scheduler = kind
+				cfg.Executors = executors
+				cfg.BatchSize = batch
+				cfg.MaxStaleness = 0.4
+				if kind == sched.Priority {
+					cfg.Priorities = []int{1, 0, 1, 0}
+				}
+				first := marshal(t, mustRun(t, cfg))
+				again := marshal(t, mustRun(t, cfg))
+				if !bytes.Equal(first, again) {
+					t.Errorf("sched=%s executors=%d batch=%d: rerun not byte-identical\n first: %s\nsecond: %s",
+						kind, executors, batch, first, again)
+				}
+			}
 		}
 	}
 }
@@ -188,6 +200,225 @@ func TestArrivalScheduleIndependentOfFleet(t *testing.T) {
 			t.Errorf("stream %d offered load changed: %d vs %d",
 				i, base.PerStream[i].Arrived, stressed.PerStream[i].Arrived)
 		}
+	}
+}
+
+// TestMetricHorizon pins the one-horizon semantics this PR fixes: in
+// an overloaded fleet whose drain extends well past Duration, every
+// time-averaged metric — throughput, average queue depth, utilization
+// — is normalized over the makespan (LastEventAt), not over the
+// offered-load window.
+func TestMetricHorizon(t *testing.T) {
+	cfg := testConfig()
+	cfg.Streams = 6
+	cfg.FPS = 30
+	cfg.Executors = 1
+	cfg.QueueCap = -1 // unbounded: the queue drains long after load ends
+	r := mustRun(t, cfg)
+
+	if r.LastEventAt <= r.Duration {
+		t.Fatalf("drain did not extend past Duration: makespan %v <= %v (scenario not overloaded?)",
+			r.LastEventAt, r.Duration)
+	}
+	wantTput := float64(r.Fleet.Served) / r.LastEventAt
+	if r.Fleet.Throughput != wantTput {
+		t.Errorf("fleet throughput %v != served/makespan %v", r.Fleet.Throughput, wantTput)
+	}
+	for _, st := range r.PerStream {
+		if want := float64(st.Served) / r.LastEventAt; st.Throughput != want {
+			t.Errorf("%s throughput %v != served/makespan %v", st.ID, st.Throughput, want)
+		}
+	}
+	// One executor saturated for (almost) the whole makespan: the busy
+	// integral over the same horizon must be near 1, and can never
+	// exceed it. (Under the old Duration-based horizon this quantity
+	// was inconsistent with throughput by the drain factor.)
+	if r.Utilization > 1 || r.Utilization < 0.9 {
+		t.Errorf("utilization %v outside (0.9, 1] for a saturated executor over the makespan", r.Utilization)
+	}
+	if r.AvgQueueDepth <= 0 {
+		t.Errorf("avg queue depth %v not positive under overload", r.AvgQueueDepth)
+	}
+}
+
+// TestFairBoundsStarvation drives one hot Poisson stream against five
+// quiet ones on a saturated executor. Under the shared FIFO the hot
+// stream's frames flood the queue and the quiet streams starve along
+// with it; fair gives each stream its round-robin share and evicts
+// from the longest (hot) backlog, so every quiet stream keeps a
+// strictly lower drop rate and the hot stream absorbs its own burst.
+func TestFairBoundsStarvation(t *testing.T) {
+	cfg := testConfig()
+	cfg.Streams = 6
+	cfg.FPS = 12
+	cfg.StreamFPS = []float64{60, 12, 12, 12, 12, 12}
+	cfg.Executors = 1
+	cfg.Duration = 10
+	cfg.MaxStaleness = 0.4
+
+	cfg.Scheduler = sched.FIFO
+	fifo := mustRun(t, cfg)
+	cfg.Scheduler = sched.Fair
+	fair := mustRun(t, cfg)
+
+	if fifo.Fleet.Arrived != fair.Fleet.Arrived {
+		t.Fatalf("offered load changed with the scheduler: %d vs %d", fifo.Fleet.Arrived, fair.Fleet.Arrived)
+	}
+	if fair.PerStream[0].DropRate <= fifo.PerStream[0].DropRate {
+		t.Errorf("hot stream drop rate %v under fair not above fifo's %v (burst not absorbed by the burster)",
+			fair.PerStream[0].DropRate, fifo.PerStream[0].DropRate)
+	}
+	for s := 1; s < cfg.Streams; s++ {
+		if fair.PerStream[s].DropRate >= fifo.PerStream[s].DropRate {
+			t.Errorf("quiet stream %d: fair drop rate %v not below fifo's %v",
+				s, fair.PerStream[s].DropRate, fifo.PerStream[s].DropRate)
+		}
+	}
+}
+
+// TestFairReducesDropSpread pins the acceptance scenario: equal-rate
+// bursty Poisson streams overloading one executor. FIFO sheds by queue
+// luck, so per-stream drop rates scatter; fair's round-robin service
+// plus longest-queue eviction is a feedback equalizer, and the max-min
+// drop-rate spread contracts.
+func TestFairReducesDropSpread(t *testing.T) {
+	cfg := testConfig()
+	cfg.Streams = 6
+	cfg.FPS = 20
+	cfg.Executors = 1
+	cfg.Duration = 10
+	cfg.MaxStaleness = 0.4
+
+	cfg.Scheduler = sched.FIFO
+	fifo := mustRun(t, cfg)
+	cfg.Scheduler = sched.Fair
+	fair := mustRun(t, cfg)
+
+	if fair.DropSpread() >= fifo.DropSpread() {
+		t.Errorf("fair drop-rate spread %v not below fifo's %v", fair.DropSpread(), fifo.DropSpread())
+	}
+}
+
+// TestEDFDropsFewerStale compares EDF against FIFO under tail drop at
+// equal load: FIFO keeps doomed head-of-line frames that expire as
+// stale drops at admission, while EDF's overflow evicts the earliest
+// deadline — the frame nearest expiry — so far fewer frames rot in the
+// queue.
+func TestEDFDropsFewerStale(t *testing.T) {
+	cfg := testConfig()
+	cfg.Streams = 6
+	cfg.FPS = 20
+	cfg.Executors = 1
+	cfg.Duration = 8
+	cfg.QueueCap = 12
+	cfg.MaxStaleness = 0.25
+	cfg.Drop = DropNewest
+
+	cfg.Scheduler = sched.FIFO
+	fifo := mustRun(t, cfg)
+	cfg.Scheduler = sched.EDF
+	edf := mustRun(t, cfg)
+
+	if fifo.Fleet.Arrived != edf.Fleet.Arrived {
+		t.Fatalf("offered load changed with the scheduler: %d vs %d", fifo.Fleet.Arrived, edf.Fleet.Arrived)
+	}
+	if fifo.Fleet.DroppedStale == 0 {
+		t.Fatal("scenario never engaged the stale skip under fifo; it cannot discriminate")
+	}
+	if edf.Fleet.DroppedStale >= fifo.Fleet.DroppedStale {
+		t.Errorf("EDF dropped %d stale frames, fifo %d; EDF must drop fewer at equal load",
+			edf.Fleet.DroppedStale, fifo.Fleet.DroppedStale)
+	}
+}
+
+// TestPriorityProtectsHighClass checks the priority scheduler under
+// overload: per-class stats are emitted, the classes partition the
+// fleet, and the high class keeps a lower drop rate than the low one.
+func TestPriorityProtectsHighClass(t *testing.T) {
+	cfg := testConfig()
+	cfg.Streams = 6
+	cfg.FPS = 20
+	cfg.Executors = 1
+	cfg.Duration = 6
+	cfg.MaxStaleness = 0.4
+	cfg.Scheduler = sched.Priority
+	cfg.Priorities = []int{1, 1, 1, 0, 0, 0}
+	r := mustRun(t, cfg)
+
+	if len(r.PerClass) != 2 {
+		t.Fatalf("PerClass has %d rows, want 2", len(r.PerClass))
+	}
+	hi, lo := r.PerClass[0], r.PerClass[1]
+	if hi.ID != "class-1" || lo.ID != "class-0" {
+		t.Fatalf("PerClass order %q, %q; want class-1 then class-0", hi.ID, lo.ID)
+	}
+	if hi.Arrived+lo.Arrived != r.Fleet.Arrived || hi.Served+lo.Served != r.Fleet.Served {
+		t.Errorf("classes do not partition the fleet: %d+%d arrived vs %d, %d+%d served vs %d",
+			hi.Arrived, lo.Arrived, r.Fleet.Arrived, hi.Served, lo.Served, r.Fleet.Served)
+	}
+	if hi.DropRate >= lo.DropRate {
+		t.Errorf("high class drop rate %v not below low class %v under overload", hi.DropRate, lo.DropRate)
+	}
+
+	// Non-priority schedulers never emit per-class rows.
+	cfg.Scheduler = sched.FIFO
+	if r := mustRun(t, cfg); len(r.PerClass) != 0 {
+		t.Errorf("fifo emitted %d per-class rows", len(r.PerClass))
+	}
+}
+
+// TestBatchingIncreasesThroughput pins the acceptance scenario: on an
+// overloaded fleet, fusing four frames per launch amortizes the
+// per-launch constant b and the fleet strictly serves more frames —
+// the cross-frame counterpart of the appendix's region merging.
+func TestBatchingIncreasesThroughput(t *testing.T) {
+	cfg := testConfig()
+	cfg.Streams = 6
+	cfg.FPS = 30
+	cfg.Executors = 1
+	cfg.QueueCap = 8
+	one := mustRun(t, cfg)
+	cfg.BatchSize = 4
+	four := mustRun(t, cfg)
+
+	if one.Fleet.Arrived != four.Fleet.Arrived {
+		t.Fatalf("offered load changed with batch size: %d vs %d", one.Fleet.Arrived, four.Fleet.Arrived)
+	}
+	if four.Fleet.Served <= one.Fleet.Served {
+		t.Errorf("batch=4 served %d <= batch=1 served %d", four.Fleet.Served, one.Fleet.Served)
+	}
+	if four.Fleet.Throughput <= one.Fleet.Throughput {
+		t.Errorf("batch=4 throughput %v <= batch=1 throughput %v", four.Fleet.Throughput, one.Fleet.Throughput)
+	}
+	if four.Batches >= four.Fleet.Served {
+		t.Errorf("batch=4 made %d launches for %d served frames; frames were not fused", four.Batches, four.Fleet.Served)
+	}
+	if one.Batches != one.Fleet.Served {
+		t.Errorf("batch=1 made %d launches for %d served frames; must be one per frame", one.Batches, one.Fleet.Served)
+	}
+}
+
+// TestStreamFPSValidation rejects malformed per-stream rates.
+func TestStreamFPSValidation(t *testing.T) {
+	cfg := testConfig()
+	cfg.StreamFPS = []float64{10, 10}
+	if _, err := Run(cfg); err == nil {
+		t.Error("Run accepted StreamFPS with the wrong length")
+	}
+	cfg = testConfig()
+	cfg.StreamFPS = []float64{10, 10, -1, 10}
+	if _, err := Run(cfg); err == nil {
+		t.Error("Run accepted a non-positive per-stream rate")
+	}
+	cfg = testConfig()
+	cfg.Priorities = []int{1}
+	if _, err := Run(cfg); err == nil {
+		t.Error("Run accepted Priorities with the wrong length")
+	}
+	cfg = testConfig()
+	cfg.Scheduler = "lifo"
+	if _, err := Run(cfg); err == nil {
+		t.Error("Run accepted an unknown scheduler")
 	}
 }
 
