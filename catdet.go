@@ -150,13 +150,18 @@ func Evaluate(ds *Dataset, r *RunResult, diff Difficulty, beta float64) Evaluati
 	return sim.Evaluate(ds, r, diff, beta)
 }
 
-// Online serving layer: a deterministic discrete-event simulation of a
-// fleet serving N concurrent video streams (one private per-stream
+// Online serving layer: a long-lived push-based Server modeling a
+// fleet that serves N concurrent video streams (one private per-stream
 // session each) against GPU executors priced by the Appendix I timing
-// model, with queue-cap / stale-skip / degrade backpressure policies.
+// model, with a pluggable scheduler, batched launches and queue-cap /
+// stale-skip / degrade backpressure policies. Callers push frames with
+// Server.Submit (or feed a ServeSource through Ingest), observe
+// per-frame outcomes on a ServeSink, poll live ServeStats snapshots,
+// and Drain for the cumulative ServeResult; Serve remains the
+// closed-loop driver replaying a preset arrival schedule.
 type (
 	// ServeConfig describes one serving scenario (streams, arrival
-	// process, executors, policies).
+	// process, executors, policies, sink).
 	ServeConfig = serve.Config
 	// ServeResult is the scenario outcome: per-stream and fleet
 	// throughput, drop rate and p50/p95/p99 latency.
@@ -166,7 +171,52 @@ type (
 	// LatencySummary condenses a latency sample set (nearest-rank
 	// percentiles, seconds).
 	LatencySummary = serve.LatencySummary
+	// Server is the long-lived push-based serving fleet.
+	Server = serve.Server
+	// ServeStats is a live Server snapshot: cumulative totals, queue
+	// depth, busy executors, and latency percentiles over a sliding
+	// window of recent served frames.
+	ServeStats = serve.Stats
+	// ServeEvent is one per-frame outcome (served / dropped-queue /
+	// dropped-stale) streamed to a ServeSink.
+	ServeEvent = serve.Event
+	// ServeEventKind classifies a ServeEvent.
+	ServeEventKind = serve.EventKind
+	// ServeSink receives per-frame events synchronously from the
+	// engine.
+	ServeSink = serve.Sink
+	// ServeSinkFunc adapts a function to ServeSink.
+	ServeSinkFunc = serve.SinkFunc
+	// ServeArrival is one frame offered to a Server by a ServeSource.
+	ServeArrival = serve.Arrival
+	// ServeSource produces arrivals for Server.Ingest.
+	ServeSource = serve.Source
 )
+
+// Per-frame serving outcomes.
+const (
+	ServeEventServed       = serve.EventServed
+	ServeEventDroppedQueue = serve.EventDroppedQueue
+	ServeEventDroppedStale = serve.EventDroppedStale
+)
+
+// ErrServerClosed is returned by Server methods after Close.
+var ErrServerClosed = serve.ErrClosed
+
+// NewServer builds a long-lived push-based serving fleet from a
+// validated config. Frames are pushed with Submit(stream, frame,
+// arriveAt) on the virtual clock; Drain runs the backlog dry and
+// returns the cumulative ServeResult.
+func NewServer(cfg ServeConfig) (*Server, error) { return serve.New(cfg) }
+
+// ServeScheduleSource replays the config's preset arrival schedule in
+// global time order — the source Serve drives a Server with.
+func ServeScheduleSource(cfg ServeConfig) ServeSource { return serve.ScheduleSource(cfg) }
+
+// ServeChannelSource wraps a caller-owned channel as a ServeSource for
+// Server.Ingest; producer goroutines push arrivals until they close
+// the channel.
+func ServeChannelSource(ch <-chan ServeArrival) ServeSource { return serve.ChannelSource(ch) }
 
 // SchedKind names a serving-queue scheduling policy (see
 // internal/serve/sched for the policy semantics).
@@ -190,9 +240,11 @@ const (
 	SchedEDF      = sched.EDF
 )
 
-// Serve runs one online serving scenario on the virtual clock. The
-// same config (seed included) produces a byte-identical result at any
-// executor count and on any machine.
+// Serve runs one closed-loop online serving scenario on the virtual
+// clock: it builds a Server, replays the config's preset arrival
+// schedule through Submit, and drains. The same config (seed included)
+// produces a byte-identical result at any executor count and on any
+// machine.
 func Serve(cfg ServeConfig) (*ServeResult, error) { return serve.Run(cfg) }
 
 // LoadDataset reads a dataset from a JSON (optionally .gz) file.

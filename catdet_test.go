@@ -6,6 +6,7 @@ package catdet
 // matching, AP, delay) at once.
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -68,6 +69,48 @@ func TestFacadeServePath(t *testing.T) {
 	}
 	if len(res.PerStream) != 3 {
 		t.Fatalf("per-stream rows = %d, want 3", len(res.PerStream))
+	}
+}
+
+// TestFacadeServerPath exercises the push-based Server through the
+// public facade: frames submitted from caller code, per-frame events
+// on a sink, live stats, and a drained result that balances.
+func TestFacadeServerPath(t *testing.T) {
+	var served int
+	srv, err := NewServer(ServeConfig{
+		Spec: SystemSpec{
+			Kind: CaTDet, Proposal: "resnet10a", Refinement: "resnet50", Cfg: DefaultConfig(),
+		},
+		Preset:  MiniKITTIPreset(),
+		Seed:    1,
+		Streams: 2,
+		FPS:     10,
+		Sink: ServeSinkFunc(func(e ServeEvent) {
+			if e.Kind == ServeEventServed {
+				served++
+			}
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for k := 0; k < 30; k++ {
+		for s := 0; s < 2; s++ {
+			if err := srv.Submit(s, k, float64(k)/10); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if st := srv.Stats(); st.Arrived != 60 {
+		t.Fatalf("live stats saw %d arrivals, submitted 60", st.Arrived)
+	}
+	res, err := srv.Drain(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fleet.Arrived != 60 || res.Fleet.Served != served {
+		t.Fatalf("books do not balance: fleet %+v vs %d served events", res.Fleet, served)
 	}
 }
 

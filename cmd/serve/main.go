@@ -14,12 +14,14 @@
 //	serve -streams 4 -sched priority -priorities 2,2,1,0      # per-stream classes
 //	serve -streams 8 -sched edf -stale 0.5                    # deadline = arrive+stale
 //	serve -streams 6 -stream-fps 60,10,10,10,10,10 -sweep     # policy x batch table
+//	serve -streams 4 -trace trace.jsonl                       # per-frame event log (JSONL)
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strconv"
@@ -62,6 +64,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "world and arrival seed")
 	jsonOut := flag.Bool("json", false, "emit the full machine-readable result instead of text")
 	sweep := flag.Bool("sweep", false, "run the scheduler x batch grid on this scenario and print a comparison table")
+	trace := flag.String("trace", "", "stream per-frame serve events (served/dropped/degraded) as JSONL to this file (\"-\" = stdout)")
 	flag.Parse()
 
 	var p video.Preset
@@ -98,6 +101,29 @@ func main() {
 		Drop:         serve.DropKind(*policy),
 		MaxStaleness: *stale,
 		DegradeDepth: *degradeDepth,
+	}
+	if *trace != "" {
+		if *sweep {
+			log.Fatal("-trace streams one scenario's events; it does not combine with -sweep")
+		}
+		if *trace == "-" && *jsonOut {
+			log.Fatal("-trace - and -json would interleave two machine formats on stdout; trace to a file instead")
+		}
+		w := io.Writer(os.Stdout)
+		if *trace != "-" {
+			f, err := os.Create(*trace)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		enc := json.NewEncoder(w)
+		cfg.Sink = serve.SinkFunc(func(e serve.Event) {
+			if err := enc.Encode(e); err != nil {
+				log.Fatalf("trace: %v", err)
+			}
+		})
 	}
 	if *sweep {
 		if *jsonOut {

@@ -27,11 +27,14 @@ const (
 // frame) is a total order — a stream never has two events of the same
 // kind for the same frame (a batch completion is keyed by its first
 // frame) — so heap order, and with it the whole simulation, is
-// deterministic.
+// deterministic. arrive is the frame's arrival stamp: normally equal to
+// t, earlier only for a frame submitted behind the clock (see
+// Server.Submit), whose latency still counts from the true arrival.
 type event struct {
 	t             float64
 	kind          int
 	stream, frame int
+	arrive        float64
 }
 
 type agenda []event
@@ -105,12 +108,21 @@ func arrivalTimes(cfg Config) [][]float64 {
 	return out
 }
 
-// fleet is the mutable state of the event loop.
+// fleet is the single-threaded serving engine: the virtual-clock agenda,
+// the scheduler, the executors and the per-stream sessions and worlds.
+// Server wraps it behind a mutex; nothing here is concurrency-safe on
+// its own.
 type fleet struct {
-	cfg      Config
-	gpu      gpumodel.Model
-	refCost  ops.CostModel
-	cascade  bool
+	cfg     Config
+	seed    int64
+	gpu     gpumodel.Model
+	refCost ops.CostModel
+	cascade bool
+
+	// Per-stream state. presets[s] is the (possibly rate-rescaled)
+	// world preset of stream s; seqs[s] is its lazily grown synthetic
+	// sequence (frames exist up to the largest index submitted so far).
+	presets  []video.Preset
 	sessions []core.System
 	seqs     []*dataset.Sequence
 
@@ -119,11 +131,131 @@ type fleet struct {
 	busy    int
 	batches int
 
+	sink Sink
+	win  *latWindow
+
 	now, lastT        float64
 	depthInt, busyInt float64 // time integrals of queue depth / busy executors
 	maxDepth          int
 	maxService        float64
 	acc               []streamAcc
+}
+
+// newFleet builds the engine for a normalized, validated config.
+func newFleet(cfg Config) (*fleet, error) {
+	f := &fleet{
+		cfg:     cfg,
+		seed:    cfg.Seed,
+		gpu:     gpumodel.Default(),
+		cascade: cfg.Spec.Kind != sim.Single,
+		sink:    cfg.Sink,
+		win:     newLatWindow(cfg.StatsWindow),
+	}
+	if cfg.GPU != nil {
+		f.gpu = *cfg.GPU
+	}
+	var err error
+	f.sched, err = sched.New(cfg.Scheduler, sched.Config{
+		Cap:        cfg.QueueCap,
+		DropNewest: cfg.Drop == DropNewest,
+		Streams:    cfg.Streams,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if f.cascade {
+		ref, err := detector.New(cfg.Spec.Refinement)
+		if err != nil {
+			return nil, err
+		}
+		f.refCost = ref.Cost
+	}
+
+	// The base world preset runs at the offered rate: frame k of a
+	// stream is the world 1/FPS seconds after frame k-1. A stream whose
+	// StreamFPS overrides the rate gets its own preset rescaled to that
+	// rate, so its frame content and arrival cadence agree — the same
+	// per-second motion, lifetime and density statistics as its
+	// same-rate neighbors, sampled at its own cadence.
+	base := cfg.Preset
+	base.FPS = cfg.FPS
+	f.presets = make([]video.Preset, cfg.Streams)
+	for s := range f.presets {
+		p := base
+		if len(cfg.StreamFPS) > 0 && cfg.StreamFPS[s] != cfg.FPS {
+			p = base.Rescale(cfg.StreamFPS[s])
+		}
+		f.presets[s] = p
+	}
+
+	factory := cfg.Spec.Factory(base.ClassList())
+	f.sessions = make([]core.System, cfg.Streams)
+	f.seqs = make([]*dataset.Sequence, cfg.Streams)
+	f.acc = make([]streamAcc, cfg.Streams)
+	for s := 0; s < cfg.Streams; s++ {
+		sys, err := factory()
+		if err != nil {
+			return nil, err
+		}
+		p := f.presets[s]
+		p.FramesPerSeq = 0
+		f.seqs[s] = video.GenerateSequence(p, f.seed, s)
+		sys.Reset(f.seqs[s])
+		f.sessions[s] = sys
+	}
+	return f, nil
+}
+
+// ensureFrame grows stream s's world so frame exists. Sequences are
+// regenerated with doubled length — generation is prefix-stable, so
+// frames already served never change — which keeps the open Server's
+// memory proportional to the largest frame index actually submitted.
+func (f *fleet) ensureFrame(s, frame int) {
+	seq := f.seqs[s]
+	if frame < len(seq.Frames) {
+		return
+	}
+	n := len(seq.Frames)
+	if n < 64 {
+		n = 64
+	}
+	for n <= frame {
+		n *= 2
+	}
+	p := f.presets[s]
+	p.FramesPerSeq = n
+	*seq = *video.GenerateSequence(p, f.seed, s)
+}
+
+// advanceTo processes every agenda event up to and including virtual
+// time t, in (t, kind, stream, frame) order.
+func (f *fleet) advanceTo(t float64) {
+	for f.agenda.Len() > 0 && f.agenda[0].t <= t {
+		f.handle(f.agenda.next())
+	}
+}
+
+// handle plays one event: advance the clock, apply the event, then let
+// idle executors pull work.
+func (f *fleet) handle(e event) {
+	f.tick(e.t)
+	switch e.kind {
+	case evArrival:
+		f.acc[e.stream].arrived++
+		f.admit(f.job(e.stream, e.frame, e.arrive))
+	case evCompletion:
+		f.busy--
+	}
+	f.dispatch()
+}
+
+// emit hands an event to the sink, if any. Sinks run synchronously on
+// the engine (under the Server's lock): they must be fast and must not
+// call back into the Server.
+func (f *fleet) emit(e Event) {
+	if f.sink != nil {
+		f.sink.ServeEvent(e)
+	}
 }
 
 // tick advances the virtual clock to t, integrating the queue-depth and
@@ -141,6 +273,10 @@ func (f *fleet) tick(t float64) {
 func (f *fleet) admit(j sched.Job) {
 	if victim, dropped := f.sched.Admit(j); dropped {
 		f.acc[victim.Stream].droppedQueue++
+		f.emit(Event{
+			Kind: EventDroppedQueue, Stream: victim.Stream, Frame: victim.Frame,
+			Arrive: victim.Arrive, Time: f.now,
+		})
 	}
 	if d := f.sched.Len(); d > f.maxDepth {
 		f.maxDepth = d
@@ -172,7 +308,14 @@ func (f *fleet) dispatch() {
 			if adm.degraded {
 				a.degraded++
 			}
-			a.latencies = append(a.latencies, f.now+service-adm.job.Arrive)
+			lat := f.now + service - adm.job.Arrive
+			a.latencies = append(a.latencies, lat)
+			f.win.add(lat)
+			f.emit(Event{
+				Kind: EventServed, Stream: adm.job.Stream, Frame: adm.job.Frame,
+				Arrive: adm.job.Arrive, Time: f.now + service,
+				Latency: lat, Degraded: adm.degraded, Batch: f.batches,
+			})
 		}
 	}
 }
@@ -188,6 +331,10 @@ func (f *fleet) gather() []admitted {
 		}
 		if f.cfg.MaxStaleness > 0 && f.now-j.Arrive > f.cfg.MaxStaleness {
 			f.acc[j.Stream].droppedStale++
+			f.emit(Event{
+				Kind: EventDroppedStale, Stream: j.Stream, Frame: j.Frame,
+				Arrive: j.Arrive, Time: f.now,
+			})
 			continue
 		}
 		degraded := f.cascade && f.cfg.DegradeDepth > 0 && f.sched.Len() >= f.cfg.DegradeDepth
@@ -268,84 +415,6 @@ func (f *fleet) stepWork(j sched.Job, degraded bool) float64 {
 	}
 }
 
-// Run executes one serving scenario on the virtual clock and returns
-// its deterministic Result.
-func Run(cfg Config) (*Result, error) {
-	cfg, err := cfg.withDefaults()
-	if err != nil {
-		return nil, err
-	}
-
-	// Offered load first: the schedule fixes how many world frames each
-	// stream needs, independent of fleet shape.
-	schedule := arrivalTimes(cfg)
-	frames := 1
-	for _, ts := range schedule {
-		if len(ts) > frames {
-			frames = len(ts)
-		}
-	}
-	preset := cfg.Preset
-	preset.NumSequences = cfg.Streams
-	preset.FramesPerSeq = frames
-	preset.FPS = cfg.FPS
-	ds := video.Generate(preset, cfg.Seed)
-
-	f := &fleet{cfg: cfg, gpu: gpumodel.Default(), cascade: cfg.Spec.Kind != sim.Single}
-	if cfg.GPU != nil {
-		f.gpu = *cfg.GPU
-	}
-	f.sched, err = sched.New(cfg.Scheduler, sched.Config{
-		Cap:        cfg.QueueCap,
-		DropNewest: cfg.Drop == DropNewest,
-		Streams:    cfg.Streams,
-	})
-	if err != nil {
-		return nil, err
-	}
-	if f.cascade {
-		ref, err := detector.New(cfg.Spec.Refinement)
-		if err != nil {
-			return nil, err
-		}
-		f.refCost = ref.Cost
-	}
-	factory := cfg.Spec.Factory(ds.Classes)
-	f.sessions = make([]core.System, cfg.Streams)
-	f.seqs = make([]*dataset.Sequence, cfg.Streams)
-	f.acc = make([]streamAcc, cfg.Streams)
-	for s := 0; s < cfg.Streams; s++ {
-		sys, err := factory()
-		if err != nil {
-			return nil, err
-		}
-		f.seqs[s] = &ds.Sequences[s]
-		sys.Reset(f.seqs[s])
-		f.sessions[s] = sys
-	}
-
-	for s, ts := range schedule {
-		for k, t := range ts {
-			f.agenda.add(event{t: t, kind: evArrival, stream: s, frame: k})
-		}
-	}
-
-	for f.agenda.Len() > 0 {
-		e := f.agenda.next()
-		f.tick(e.t)
-		switch e.kind {
-		case evArrival:
-			f.acc[e.stream].arrived++
-			f.admit(f.job(e.stream, e.frame, e.t))
-		case evCompletion:
-			f.busy--
-		}
-		f.dispatch()
-	}
-
-	return f.result(ds), nil
-}
-
 // job builds the scheduler job for an arriving frame: the deadline is
 // arrive + MaxStaleness (arrive itself when staleness is off), and the
 // class is the stream's configured priority.
@@ -360,11 +429,38 @@ func (f *fleet) job(stream, frame int, arrive float64) sched.Job {
 	return j
 }
 
+// stats folds the live counters into a snapshot. Totals count since
+// New; the latency summary covers the sliding window of the most
+// recent StatsWindow served frames.
+func (f *fleet) stats() Stats {
+	st := Stats{
+		Now:           f.lastT,
+		QueueDepth:    f.sched.Len(),
+		BusyExecutors: f.busy,
+		Window:        f.win.summary(),
+	}
+	for s := range f.acc {
+		a := &f.acc[s]
+		st.Arrived += a.arrived
+		st.Served += a.served
+		st.DroppedQueue += a.droppedQueue
+		st.DroppedStale += a.droppedStale
+		st.Degraded += a.degraded
+	}
+	if st.Now > 0 {
+		st.Throughput = float64(st.Served) / st.Now
+	}
+	if st.Arrived > 0 {
+		st.DropRate = float64(st.DroppedQueue+st.DroppedStale) / float64(st.Arrived)
+	}
+	return st
+}
+
 // result folds the accumulated counters into the Result, in stream
 // order. Every time-averaged metric — throughput, average queue
 // depth, utilization — is normalized over the makespan (LastEventAt),
 // the one shared horizon.
-func (f *fleet) result(ds *dataset.Dataset) *Result {
+func (f *fleet) result() *Result {
 	cfg := f.cfg
 	r := &Result{
 		Preset:        cfg.Preset.Name,
@@ -402,7 +498,7 @@ func (f *fleet) result(ds *dataset.Dataset) *Result {
 	for s := range f.acc {
 		a := &f.acc[s]
 		row := StreamStats{
-			ID:           ds.Sequences[s].ID,
+			ID:           f.seqs[s].ID,
 			Arrived:      a.arrived,
 			Served:       a.served,
 			DroppedQueue: a.droppedQueue,

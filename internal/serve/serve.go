@@ -1,22 +1,29 @@
 // Package serve is the online counterpart of internal/sim: a
-// deterministic discrete-event simulator of a serving fleet under live
-// multi-stream video load. N concurrent streams (each a private
-// per-stream detection session built from a sim.SystemFactory) emit
-// frames on a seeded arrival process; frames queue for a configurable
-// number of GPU executors whose per-frame service time comes from the
-// Appendix I gpumodel (region merging and launch overhead included).
-// A pluggable scheduler (package sched: fifo, fair, priority, edf)
+// deterministic discrete-event model of a serving fleet under live
+// multi-stream video load, opened up as a push-based Server. Callers
+// push frames with Server.Submit (or feed a Source through Ingest);
+// each of the N streams owns a private detection session built from a
+// sim.SystemFactory, and frames queue for a configurable number of
+// GPU executors whose per-frame service time comes from the Appendix
+// I gpumodel (region merging and launch overhead included). A
+// pluggable scheduler (package sched: fifo, fair, priority, edf)
 // decides which waiting frame runs next and which one a full queue
 // evicts, and executors can fuse up to BatchSize frames into one
 // batched launch (gpumodel.Model.BatchFrames), amortizing the
 // per-launch constant across frames. Backpressure policies — queue
 // cap with drop-oldest/drop-newest, stale-frame skip,
-// degrade-to-proposal-only under overload — shape the tail, and the
-// simulator accumulates per-stream, per-class and fleet-wide
-// throughput, drop rate, queue depth and p50/p95/p99 end-to-end
-// latency.
+// degrade-to-proposal-only under overload — shape the tail.
 //
-// Everything runs on a virtual clock in a single goroutine: the same
+// Per-frame outcomes (served, dropped, degraded) stream to a
+// caller-provided Sink as the engine decides them; Server.Stats
+// returns live snapshots (throughput, drop rate, queue depth, and
+// latency percentiles over a sliding window); Server.Drain runs the
+// backlog dry and folds everything into the per-stream, per-class and
+// fleet-wide Result.
+//
+// The closed-loop simulator survives as one driver on top: Run builds
+// a Server, replays the config's preset arrival schedule through
+// Submit, and drains. Everything runs on a virtual clock; the same
 // Config (seed included) always produces a byte-identical Result, at
 // any executor count and on any machine.
 package serve
@@ -83,14 +90,12 @@ type Config struct {
 	// stream arrives at FPS; when set, its length must equal Streams
 	// and every rate must be positive.
 	//
-	// The override applies to the arrival cadence only: world content
-	// is still generated at FPS, so a stream arriving faster than FPS
-	// replays correspondingly faster object motion (and vice versa).
-	// That skews its tracker dynamics and service times relative to
-	// same-rate streams — acceptable for load-shape studies (the
-	// queueing comparisons this knob exists for), but the per-frame
-	// costs of rate-overridden streams are not calibrated against the
-	// offline tables.
+	// A rate-overridden stream's world is regenerated at its own rate
+	// (video.Preset.Rescale), so frame content and arrival cadence
+	// agree per stream: objects move, live and spawn with the same
+	// per-second statistics as the FPS-rate streams, sampled at the
+	// override cadence. Streams at exactly FPS keep the base world
+	// byte-identical.
 	StreamFPS []float64
 
 	// Arrivals selects the arrival process (default FixedFPS).
@@ -154,13 +159,23 @@ type Config struct {
 
 	// GPU overrides the timing model; nil means gpumodel.Default().
 	GPU *gpumodel.Model
+
+	// Sink, when non-nil, receives one Event per frame outcome
+	// (served, dropped, degraded) as the engine decides it. Sinks run
+	// synchronously under the server's lock: they must be fast and
+	// must not call back into the Server. Never serialized into the
+	// Result.
+	Sink Sink
+
+	// StatsWindow is the number of most recent served frames whose
+	// latencies feed the sliding-window percentiles of Server.Stats
+	// (default 256). It does not affect the Result.
+	StatsWindow int
 }
 
-// withDefaults returns the normalized config the simulator runs.
-func (c Config) withDefaults() (Config, error) {
-	if c.Spec.Kind == "" {
-		return c, fmt.Errorf("serve: Config.Spec is required")
-	}
+// withDefaults fills every unset field with its documented default.
+// Defaulting never fails; Validate reports what remains invalid.
+func (c Config) withDefaults() Config {
 	if c.Preset.Name == "" {
 		c.Preset = video.KITTIPreset()
 	}
@@ -170,41 +185,17 @@ func (c Config) withDefaults() (Config, error) {
 	if c.FPS <= 0 {
 		c.FPS = c.Preset.FPS
 	}
-	if c.FPS <= 0 {
-		return c, fmt.Errorf("serve: preset %q has no FPS and Config.FPS is unset", c.Preset.Name)
-	}
 	if c.Arrivals == "" {
 		c.Arrivals = FixedFPS
 	}
-	if c.Arrivals != FixedFPS && c.Arrivals != Poisson {
-		return c, fmt.Errorf("serve: unknown arrival process %q", c.Arrivals)
-	}
 	if c.Duration <= 0 {
 		c.Duration = 30
-	}
-	if len(c.StreamFPS) > 0 {
-		if len(c.StreamFPS) != c.Streams {
-			return c, fmt.Errorf("serve: StreamFPS has %d entries for %d streams", len(c.StreamFPS), c.Streams)
-		}
-		for s, fps := range c.StreamFPS {
-			if fps <= 0 {
-				return c, fmt.Errorf("serve: StreamFPS[%d] = %v must be positive", s, fps)
-			}
-		}
 	}
 	if c.Executors <= 0 {
 		c.Executors = 1
 	}
 	if c.Scheduler == "" {
 		c.Scheduler = sched.FIFO
-	}
-	switch c.Scheduler {
-	case sched.FIFO, sched.Fair, sched.Priority, sched.EDF:
-	default:
-		return c, fmt.Errorf("serve: unknown scheduler %q", c.Scheduler)
-	}
-	if len(c.Priorities) > 0 && len(c.Priorities) != c.Streams {
-		return c, fmt.Errorf("serve: Priorities has %d entries for %d streams", len(c.Priorities), c.Streams)
 	}
 	if c.BatchSize <= 0 {
 		c.BatchSize = 1
@@ -215,10 +206,67 @@ func (c Config) withDefaults() (Config, error) {
 	if c.Drop == "" {
 		c.Drop = DropOldest
 	}
-	if c.Drop != DropOldest && c.Drop != DropNewest {
-		return c, fmt.Errorf("serve: unknown drop policy %q", c.Drop)
+	if c.StatsWindow <= 0 {
+		c.StatsWindow = 256
 	}
-	return c, nil
+	return c
+}
+
+// Validate checks the config exactly as New and Run would see it
+// (defaults applied to a copy first) and reports the first violation
+// as a field-path error, e.g. "serve: StreamFPS: len 3 != Streams 4".
+// A nil error means New will accept the config, short of unknown model
+// names — those surface from the detector zoo when the sessions are
+// built.
+func (c Config) Validate() error {
+	return c.withDefaults().validate()
+}
+
+// validate checks an already-defaulted config.
+func (c Config) validate() error {
+	fail := func(field, format string, args ...any) error {
+		return fmt.Errorf("serve: %s: %s", field, fmt.Sprintf(format, args...))
+	}
+	if c.Spec.Kind == "" {
+		return fail("Spec.Kind", "required")
+	}
+	switch c.Spec.Kind {
+	case sim.Single, sim.Cascaded, sim.CaTDet:
+	default:
+		return fail("Spec.Kind", "unknown system kind %q", c.Spec.Kind)
+	}
+	if c.FPS <= 0 {
+		return fail("FPS", "preset %q has no native rate and FPS is unset", c.Preset.Name)
+	}
+	if c.Arrivals != FixedFPS && c.Arrivals != Poisson {
+		return fail("Arrivals", "unknown arrival process %q", c.Arrivals)
+	}
+	if len(c.StreamFPS) > 0 && len(c.StreamFPS) != c.Streams {
+		return fail("StreamFPS", "len %d != Streams %d", len(c.StreamFPS), c.Streams)
+	}
+	for s, fps := range c.StreamFPS {
+		if fps <= 0 {
+			return fail(fmt.Sprintf("StreamFPS[%d]", s), "must be positive, got %v", fps)
+		}
+	}
+	switch c.Scheduler {
+	case sched.FIFO, sched.Fair, sched.Priority, sched.EDF:
+	default:
+		return fail("Scheduler", "unknown scheduler %q", c.Scheduler)
+	}
+	if len(c.Priorities) > 0 && len(c.Priorities) != c.Streams {
+		return fail("Priorities", "len %d != Streams %d", len(c.Priorities), c.Streams)
+	}
+	if c.Drop != DropOldest && c.Drop != DropNewest {
+		return fail("Drop", "unknown drop policy %q", c.Drop)
+	}
+	if c.MaxStaleness < 0 {
+		return fail("MaxStaleness", "must be non-negative, got %v", c.MaxStaleness)
+	}
+	if c.DegradeDepth < 0 {
+		return fail("DegradeDepth", "must be non-negative, got %v", c.DegradeDepth)
+	}
+	return nil
 }
 
 // StreamStats is the outcome of one stream (or, for Result.Fleet, of

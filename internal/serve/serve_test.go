@@ -242,19 +242,22 @@ func TestMetricHorizon(t *testing.T) {
 }
 
 // TestFairBoundsStarvation drives one hot Poisson stream against five
-// quiet ones on a saturated executor. Under the shared FIFO the hot
-// stream's frames flood the queue and the quiet streams starve along
-// with it; fair gives each stream its round-robin share and evicts
-// from the longest (hot) backlog, so every quiet stream keeps a
+// quiet ones on a saturated two-executor fleet. Under the shared FIFO
+// the hot stream's frames flood the queue and the quiet streams starve
+// along with it; fair gives each stream its round-robin share and
+// evicts from the longest (hot) backlog, so every quiet stream keeps a
 // strictly lower drop rate and the hot stream absorbs its own burst.
+// (The hot stream's world is generated at its own 60 fps rate — the
+// per-stream recalibration this PR adds — so its frame content matches
+// its cadence.)
 func TestFairBoundsStarvation(t *testing.T) {
 	cfg := testConfig()
 	cfg.Streams = 6
 	cfg.FPS = 12
 	cfg.StreamFPS = []float64{60, 12, 12, 12, 12, 12}
-	cfg.Executors = 1
+	cfg.Executors = 2
 	cfg.Duration = 10
-	cfg.MaxStaleness = 0.4
+	cfg.MaxStaleness = 0.8
 
 	cfg.Scheduler = sched.FIFO
 	fifo := mustRun(t, cfg)

@@ -1,0 +1,304 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// ErrClosed is returned by Submit, Ingest and Drain after Close.
+var ErrClosed = errors.New("serve: server closed")
+
+// EventKind classifies a per-frame serving outcome.
+type EventKind string
+
+// The three frame outcomes a Sink observes.
+const (
+	// EventServed fires when a frame is dispatched to an executor; its
+	// Time is the completion instant and Latency the end-to-end
+	// (arrival to completion) seconds.
+	EventServed EventKind = "served"
+	// EventDroppedQueue fires when the queue-overflow policy evicts a
+	// frame (the victim may be the arriving frame itself under tail
+	// drop).
+	EventDroppedQueue EventKind = "dropped-queue"
+	// EventDroppedStale fires when a frame is skipped at admission for
+	// exceeding MaxStaleness.
+	EventDroppedStale EventKind = "dropped-stale"
+)
+
+// Event is one per-frame serving outcome, reported to the configured
+// Sink as the engine decides it. Events of one server are emitted in
+// nondecreasing decision order on the virtual clock; a served frame's
+// Time (its completion instant) may postdate later-emitted drops.
+type Event struct {
+	Kind   EventKind `json:"kind"`
+	Stream int       `json:"stream"`
+	Frame  int       `json:"frame"`
+	// Arrive is the frame's arrival stamp; Time is when the outcome
+	// takes effect on the virtual clock (drop instant, or completion
+	// instant for served frames).
+	Arrive float64 `json:"arrive_s"`
+	Time   float64 `json:"time_s"`
+	// Latency is Time-Arrive for served frames, 0 for drops.
+	Latency float64 `json:"latency_s,omitempty"`
+	// Degraded marks a served frame that ran proposal-only.
+	Degraded bool `json:"degraded,omitempty"`
+	// Batch is the 1-based dispatch ordinal of a served frame; frames
+	// fused into one launch share it.
+	Batch int `json:"batch,omitempty"`
+}
+
+// Sink receives per-frame events. Implementations run synchronously on
+// the engine, under the server's lock: they must be fast, must not
+// block, and must not call back into the Server.
+type Sink interface {
+	ServeEvent(Event)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(Event)
+
+// ServeEvent implements Sink.
+func (fn SinkFunc) ServeEvent(e Event) { fn(e) }
+
+// Arrival is one frame offered to a Server: stream's frame index
+// arriving at virtual time At.
+type Arrival struct {
+	Stream, Frame int
+	At            float64
+}
+
+// Source produces arrivals for Server.Ingest. Next returns ok=false
+// when the source is exhausted.
+type Source interface {
+	Next() (Arrival, bool)
+}
+
+// channelSource adapts a caller-owned channel to a Source.
+type channelSource struct{ ch <-chan Arrival }
+
+func (c channelSource) Next() (Arrival, bool) { a, ok := <-c.ch; return a, ok }
+
+// ChannelSource wraps a channel as a Source: Ingest submits each
+// received arrival until the channel closes. Producer goroutines own
+// the channel; the serialization through it gives the server a single
+// total submission order, so a channel-fed run is deterministic
+// whenever the producers' interleaving is.
+func ChannelSource(ch <-chan Arrival) Source { return channelSource{ch} }
+
+// sliceSource replays a fixed schedule.
+type sliceSource struct {
+	arrivals []Arrival
+	i        int
+}
+
+func (s *sliceSource) Next() (Arrival, bool) {
+	if s.i >= len(s.arrivals) {
+		return Arrival{}, false
+	}
+	a := s.arrivals[s.i]
+	s.i++
+	return a, true
+}
+
+// ScheduleSource precomputes the config's preset arrival schedule —
+// every stream's frames within Duration, on the configured arrival
+// process — and replays it in global virtual-time order. It is the
+// source Run drives the Server with; the schedule depends only on
+// (seed, streams, rates, arrival process, duration), never on the
+// fleet shape, so the same config always offers the same load.
+func ScheduleSource(cfg Config) Source {
+	cfg = cfg.withDefaults()
+	var arrivals []Arrival
+	for s, ts := range arrivalTimes(cfg) {
+		for k, t := range ts {
+			arrivals = append(arrivals, Arrival{Stream: s, Frame: k, At: t})
+		}
+	}
+	sort.Slice(arrivals, func(i, j int) bool {
+		a, b := arrivals[i], arrivals[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Stream != b.Stream {
+			return a.Stream < b.Stream
+		}
+		return a.Frame < b.Frame
+	})
+	return &sliceSource{arrivals: arrivals}
+}
+
+// Server is a long-lived, push-based serving fleet on a virtual clock:
+// the scheduler, batched executors and backpressure policies of the
+// simulator, opened up so callers own the arrival process. Frames are
+// pushed with Submit (or pulled from a Source with Ingest); per-frame
+// outcomes stream to the configured Sink; Stats returns live
+// snapshots; Drain runs the backlog dry and reports the cumulative
+// Result.
+//
+// The engine advances eagerly: Submit(_, _, t) plays every pending
+// event up to t before returning, so completions, drops and sink
+// events interleave with submission instead of waiting for Drain.
+// Submissions that are globally nondecreasing in arrival time (any
+// single-goroutine driver, e.g. Run's schedule replay) reproduce the
+// closed-loop simulator byte for byte. Methods are safe for concurrent
+// use; concurrent submitters stay per-stream causal, but when their
+// arrival times race across streams the engine may already have
+// advanced past a late submission, which is then admitted at the
+// clock (keeping its arrival stamp for latency) — totals stay exact,
+// byte-level determinism is only guaranteed for time-ordered
+// submission.
+type Server struct {
+	mu         sync.Mutex
+	f          *fleet // owns the normalized Config the engine runs
+	lastFrame  []int
+	lastArrive []float64
+	closed     bool
+}
+
+// New builds a Server for the config. Defaults are applied as in Run;
+// the config is validated (see Config.Validate) and the per-stream
+// sessions and scheduler are constructed up front, so Submit never
+// fails on configuration.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	f, err := newFleet(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		f:          f,
+		lastFrame:  make([]int, cfg.Streams),
+		lastArrive: make([]float64, cfg.Streams),
+	}
+	for i := range s.lastFrame {
+		s.lastFrame[i] = -1
+	}
+	return s, nil
+}
+
+// Config returns the server's normalized configuration (defaults
+// applied).
+func (s *Server) Config() Config { return s.f.cfg }
+
+// Submit offers one frame of a stream to the fleet at virtual time
+// arriveAt. frame indexes the stream's synthetic world (grown on
+// demand, so memory scales with the largest index submitted); within a
+// stream, frame indices must be strictly increasing and arrival times
+// nondecreasing — that per-stream order is what keeps the tracker
+// sessions causal. The engine advances to arriveAt before returning.
+func (s *Server) Submit(stream, frame int, arriveAt float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if stream < 0 || stream >= s.f.cfg.Streams {
+		return fmt.Errorf("serve: Submit: stream %d out of range [0,%d)", stream, s.f.cfg.Streams)
+	}
+	if math.IsNaN(arriveAt) || math.IsInf(arriveAt, 0) {
+		// A non-finite time would defeat the monotonicity checks below
+		// (NaN compares false) and poison the clock's time integrals.
+		return fmt.Errorf("serve: Submit: stream %d: arrival %v is not a finite time", stream, arriveAt)
+	}
+	if frame <= s.lastFrame[stream] {
+		return fmt.Errorf("serve: Submit: stream %d: frame %d not after %d (frames must be strictly increasing per stream)",
+			stream, frame, s.lastFrame[stream])
+	}
+	if arriveAt < s.lastArrive[stream] {
+		return fmt.Errorf("serve: Submit: stream %d: arrival %v before %v (arrival times must be nondecreasing per stream)",
+			stream, arriveAt, s.lastArrive[stream])
+	}
+	s.lastFrame[stream], s.lastArrive[stream] = frame, arriveAt
+	s.f.ensureFrame(stream, frame)
+	t := arriveAt
+	if t < s.f.now {
+		// A concurrent submitter on another stream already advanced the
+		// clock past this arrival: admit it now, keeping the original
+		// arrival stamp for latency and staleness.
+		t = s.f.now
+	}
+	s.f.agenda.add(event{t: t, kind: evArrival, stream: stream, frame: frame, arrive: arriveAt})
+	s.f.advanceTo(t)
+	return nil
+}
+
+// Ingest submits every arrival the source yields, in order, stopping
+// at the first Submit error.
+func (s *Server) Ingest(src Source) error {
+	for {
+		a, ok := src.Next()
+		if !ok {
+			return nil
+		}
+		if err := s.Submit(a.Stream, a.Frame, a.At); err != nil {
+			return err
+		}
+	}
+}
+
+// Stats returns a live snapshot: cumulative totals, current queue
+// depth and busy executors, throughput and drop rate over the elapsed
+// makespan, and latency percentiles over the sliding window of the
+// most recent Config.StatsWindow served frames.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.stats()
+}
+
+// Drain plays the agenda dry — every queued and in-flight frame runs
+// to completion on the virtual clock, with no further arrivals — and
+// returns the cumulative Result. The context is checked between
+// events; on cancellation the server keeps its partial state and Drain
+// can be called again. Drain does not close the server: more frames
+// may be submitted afterwards, and a later Drain extends the same
+// accumulated scenario.
+func (s *Server) Drain(ctx context.Context) (*Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	for s.f.agenda.Len() > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		s.f.handle(s.f.agenda.next())
+	}
+	return s.f.result(), nil
+}
+
+// Close marks the server closed: subsequent Submit, Ingest and Drain
+// calls fail with ErrClosed. Close does not drain — call Drain first
+// if the backlog's results matter. Closing twice is a no-op.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	return nil
+}
+
+// Run executes one closed-loop serving scenario: it builds a Server,
+// replays the config's preset arrival schedule through Submit
+// (ScheduleSource), drains, and returns the deterministic Result. The
+// same Config (seed included) produces a byte-identical Result at any
+// executor count and on any machine.
+func Run(cfg Config) (*Result, error) {
+	srv, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	if err := srv.Ingest(ScheduleSource(srv.Config())); err != nil {
+		return nil, err
+	}
+	return srv.Drain(context.Background())
+}

@@ -46,6 +46,59 @@ func ceilRank(q float64, n int) int {
 	return r
 }
 
+// Stats is a live snapshot of a Server, as returned by Server.Stats.
+// Totals are cumulative since New; Throughput and DropRate cover the
+// elapsed makespan (Now), so after a full Drain they equal the final
+// Result's fleet row; Window summarizes only the most recent
+// Config.StatsWindow served frames.
+type Stats struct {
+	// Now is the engine's virtual clock: the time of the last event
+	// played so far (the makespan so far).
+	Now float64 `json:"now_s"`
+	// Cumulative frame counters, summed over every stream.
+	Arrived      int `json:"arrived"`
+	Served       int `json:"served"`
+	DroppedQueue int `json:"dropped_queue"`
+	DroppedStale int `json:"dropped_stale"`
+	Degraded     int `json:"degraded"`
+	// Instantaneous fleet state: frames waiting in the scheduler and
+	// executors currently serving a launch.
+	QueueDepth    int `json:"queue_depth"`
+	BusyExecutors int `json:"busy_executors"`
+	// Throughput is Served/Now (frames per second over the makespan so
+	// far); DropRate is (DroppedQueue+DroppedStale)/Arrived.
+	Throughput float64 `json:"throughput_fps"`
+	DropRate   float64 `json:"drop_rate"`
+	// Window summarizes end-to-end latency over the sliding window of
+	// the most recent Config.StatsWindow served frames.
+	Window LatencySummary `json:"window_latency"`
+}
+
+// latWindow is a fixed-capacity ring over the most recent served-frame
+// latencies, feeding the sliding-window percentiles of Stats.
+type latWindow struct {
+	buf []float64
+	n   int // total samples ever added
+}
+
+func newLatWindow(capacity int) *latWindow {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &latWindow{buf: make([]float64, 0, capacity)}
+}
+
+func (w *latWindow) add(v float64) {
+	if len(w.buf) < cap(w.buf) {
+		w.buf = append(w.buf, v)
+	} else {
+		w.buf[w.n%cap(w.buf)] = v
+	}
+	w.n++
+}
+
+func (w *latWindow) summary() LatencySummary { return Summarize(w.buf) }
+
 // Summarize computes the latency summary of a sample set. The input is
 // not modified.
 func Summarize(samples []float64) LatencySummary {

@@ -281,6 +281,41 @@ func isLabeled(p Preset, f int) bool {
 	return f%p.LabelEvery == p.LabelOffset
 }
 
+// Rescale returns a copy of the preset whose per-frame dynamics are
+// recalibrated for playback at fps frames per second instead of p.FPS:
+// one frame of the rescaled preset advances the world by 1/fps seconds
+// of the original preset's per-second statistics. Velocities, growth,
+// spawn and occlusion rates scale by p.FPS/fps; lifetimes and episode
+// lengths (in frames) scale by the inverse, so mean object lifetime,
+// population density and motion in *seconds* are preserved. Rescaling
+// to the preset's own rate returns the preset unchanged, so same-rate
+// worlds stay byte-identical.
+func (p Preset) Rescale(fps float64) Preset {
+	if fps <= 0 || p.FPS <= 0 || fps == p.FPS {
+		return p
+	}
+	q := p.FPS / fps // seconds per new frame, in old-frame units
+	p.EgoDrift *= q
+	classes := make([]ClassSpec, len(p.Classes))
+	for i, c := range p.Classes {
+		c.SpawnRate *= q
+		c.SpeedStd *= q
+		c.GrowthMean *= q
+		c.GrowthStd *= q
+		c.MeanLife /= q
+		c.OcclusionRate *= q
+		c.OcclusionMeanLen /= q
+		classes[i] = c
+	}
+	p.Classes = classes
+	p.FPS = fps
+	return p
+}
+
+// ClassList returns the preset's class vocabulary in declaration
+// order, deduplicated — the same list Generate records on the dataset.
+func (p Preset) ClassList() []dataset.Class { return classList(p) }
+
 func classList(p Preset) []dataset.Class {
 	seen := map[dataset.Class]bool{}
 	var out []dataset.Class

@@ -389,3 +389,120 @@ func TestPoissonMean(t *testing.T) {
 		t.Fatalf("observed track birth rate %.3f vs configured %.3f", rate, wantRate)
 	}
 }
+
+// TestRescaleSameRateIdentical pins the byte-identity contract the
+// serving layer relies on: rescaling a preset to its own native rate
+// (or to a non-positive one) is a no-op, so same-rate worlds never
+// move.
+func TestRescaleSameRateIdentical(t *testing.T) {
+	p := MiniKITTIPreset()
+	a := Generate(p, 7)
+	b := Generate(p.Rescale(p.FPS), 7)
+	c := Generate(p.Rescale(0), 7)
+	for _, other := range []*dataset.Dataset{b, c} {
+		for si := range a.Sequences {
+			fa, fo := a.Sequences[si].Frames, other.Sequences[si].Frames
+			if len(fa) != len(fo) {
+				t.Fatalf("seq %d frame count differs", si)
+			}
+			for fi := range fa {
+				if len(fa[fi].Objects) != len(fo[fi].Objects) {
+					t.Fatalf("seq %d frame %d differs after no-op rescale", si, fi)
+				}
+				for oi := range fa[fi].Objects {
+					if fa[fi].Objects[oi] != fo[fi].Objects[oi] {
+						t.Fatalf("seq %d frame %d object %d differs after no-op rescale", si, fi, oi)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGeneratePrefixStable pins the grow-on-demand property of the
+// serving layer's lazy worlds: generating a longer sequence keeps every
+// earlier frame byte-identical, so a world can be extended mid-run.
+func TestGeneratePrefixStable(t *testing.T) {
+	p := MiniKITTIPreset()
+	short := GenerateSequence(p, 7, 1)
+	p.FramesPerSeq *= 3
+	long := GenerateSequence(p, 7, 1)
+	for fi := range short.Frames {
+		fs, fl := short.Frames[fi], long.Frames[fi]
+		if len(fs.Objects) != len(fl.Objects) {
+			t.Fatalf("frame %d object count changed when the sequence grew", fi)
+		}
+		for oi := range fs.Objects {
+			if fs.Objects[oi] != fl.Objects[oi] {
+				t.Fatalf("frame %d object %d changed when the sequence grew", fi, oi)
+			}
+		}
+	}
+}
+
+// TestRescalePreservesPerSecondStats generates the same world at the
+// native rate and at 3x the frame rate and compares per-second
+// statistics: object density per frame (a per-instant quantity) and
+// mean track lifetime in seconds must agree within sampling noise, and
+// per-second displacement of tracked objects must match in scale.
+func TestRescalePreservesPerSecondStats(t *testing.T) {
+	base := KITTIPreset()
+	base.NumSequences = 4
+	base.FramesPerSeq = 600
+	fast := base.Rescale(3 * base.FPS)
+	fast.FramesPerSeq = 3 * base.FramesPerSeq
+
+	type stats struct{ density, lifeSec, speedSec float64 }
+	collect := func(p Preset) stats {
+		ds := Generate(p, 11)
+		var objs, frames int
+		first := map[[2]int]int{} // (seq, track) -> first frame
+		last := map[[2]int]int{}  // (seq, track) -> last frame
+		firstX := map[[2]int]float64{}
+		lastX := map[[2]int]float64{}
+		for si := range ds.Sequences {
+			for fi, fr := range ds.Sequences[si].Frames {
+				frames++
+				objs += len(fr.Objects)
+				for _, o := range fr.Objects {
+					key := [2]int{si, o.TrackID}
+					if _, ok := first[key]; !ok {
+						first[key] = fi
+						firstX[key] = centerX(o.Box)
+					}
+					last[key] = fi
+					lastX[key] = centerX(o.Box)
+				}
+			}
+		}
+		var lifeFrames, disp float64
+		var tracks int
+		for key, f0 := range first {
+			span := last[key] - f0
+			if span < int(p.FPS) { // ignore sub-second flickers
+				continue
+			}
+			lifeFrames += float64(span)
+			disp += math.Abs(lastX[key]-firstX[key]) / (float64(span) / p.FPS)
+			tracks++
+		}
+		return stats{
+			density:  float64(objs) / float64(frames),
+			lifeSec:  lifeFrames / float64(tracks) / p.FPS,
+			speedSec: disp / float64(tracks),
+		}
+	}
+
+	a, b := collect(base), collect(fast)
+	within := func(name string, x, y, tol float64) {
+		t.Helper()
+		if ratio := x / y; ratio < 1-tol || ratio > 1+tol {
+			t.Errorf("%s diverged after rescale: native %.3f vs 3x %.3f", name, x, y)
+		}
+	}
+	within("object density", a.density, b.density, 0.25)
+	within("mean lifetime (s)", a.lifeSec, b.lifeSec, 0.25)
+	within("per-second speed", a.speedSec, b.speedSec, 0.35)
+}
+
+func centerX(b geom.Box) float64 { x, _ := b.Center(); return x }
