@@ -9,11 +9,13 @@ REPRO_SEQS      ?= 6
 REPRO_CITY_SEQS ?= 60
 REPRO_OUT       ?= report.json
 BENCH_OUT       ?= bench.txt
+BENCH_JSON      ?= BENCH_PR5.json
 SWEEP_OUT       ?= sweep.txt
 TRACE_OUT       ?= trace.jsonl
+PROFILE_BENCH   ?= BenchmarkServeOverload|BenchmarkServeParallelStep
 STATICCHECK     ?= staticcheck
 
-.PHONY: all fmt vet lint build test race bench repro sweep trace clean
+.PHONY: all fmt vet lint build test race bench bench-json profile repro sweep trace clean
 
 all: fmt vet build test
 
@@ -53,6 +55,25 @@ bench:
 	@$(GO) test -run '^$$' -bench . -benchtime 1x ./... > $(BENCH_OUT) 2>&1; \
 		st=$$?; cat $(BENCH_OUT); exit $$st
 
+# Machine-readable benchmark trajectory: the bench smoke pass with
+# -benchmem, converted by cmd/benchjson into $(BENCH_JSON) — one record
+# per benchmark with ns/op, B/op, allocs/op and every custom metric.
+# CI uploads the file as an artifact, so per-PR performance history can
+# be diffed by tooling instead of scraped from text.
+bench-json:
+	@$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./... > $(BENCH_OUT) 2>&1; \
+		st=$$?; cat $(BENCH_OUT); \
+		if [ $$st -ne 0 ]; then exit $$st; fi; \
+		$(GO) run ./cmd/benchjson -o $(BENCH_JSON) $(BENCH_OUT) && \
+		echo "wrote $(BENCH_JSON)"
+
+# CPU and heap profiles of the serving hot path (see PROFILE_BENCH).
+# Inspect with: go tool pprof -top cpu.prof
+profile:
+	$(GO) test -run '^$$' -bench '$(PROFILE_BENCH)' -benchtime 5x \
+		-cpuprofile cpu.prof -memprofile mem.prof .
+	@echo "profiles written: cpu.prof mem.prof (go tool pprof -top cpu.prof)"
+
 # Reduced experiment pass: regenerates every table and figure, writes
 # the machine-readable report, and exits non-zero on any
 # Report.ShapeCheck violation.
@@ -79,4 +100,5 @@ trace:
 		st=$$?; wc -l $(TRACE_OUT); exit $$st
 
 clean:
-	rm -f $(REPRO_OUT) $(BENCH_OUT) $(SWEEP_OUT) $(TRACE_OUT)
+	rm -f $(REPRO_OUT) $(BENCH_OUT) $(BENCH_JSON) $(SWEEP_OUT) $(TRACE_OUT) \
+		cpu.prof mem.prof repro.test

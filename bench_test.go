@@ -11,6 +11,7 @@ package catdet
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -334,6 +335,44 @@ func BenchmarkServeBatched(b *testing.B) {
 	b.ReportMetric(res.Fleet.Throughput, "served_fps")
 	b.ReportMetric(float64(res.Fleet.Served)/float64(res.Batches), "frames_per_launch")
 	b.ReportMetric(100*res.Fleet.DropRate, "drop_pct")
+}
+
+// BenchmarkServeParallelStep measures the parallel step fan-out: a
+// wide fleet (8 streams on 8 executors, so every dispatch round holds
+// work from many streams) run fully serial (workers=1) and fanned over
+// GOMAXPROCS workers. Outputs are byte-identical by construction
+// (TestDeterminism pins it); the interesting number is the ns/op gap,
+// which on a single-core runner is the fan-out's bookkeeping overhead
+// and on multi-core hardware is the speedup of the real CPU work —
+// stepping detection sessions — that used to run one frame at a time.
+func BenchmarkServeParallelStep(b *testing.B) {
+	base := serveBenchConfig()
+	base.Streams = 8
+	base.FPS = 15
+	base.Executors = 8
+	base.Duration = 4
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"workers=1", 1},
+		{"workers=gomaxprocs", runtime.GOMAXPROCS(0)},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			cfg := base
+			cfg.StepWorkers = bc.workers
+			var res *ServeResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = Serve(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.Fleet.Throughput, "served_fps")
+			b.ReportMetric(float64(res.Fleet.Served), "served_frames")
+		})
+	}
 }
 
 // BenchmarkServeFair measures the deficit-round-robin scheduler under

@@ -243,8 +243,9 @@ const (
 // Serve runs one closed-loop online serving scenario on the virtual
 // clock: it builds a Server, replays the config's preset arrival
 // schedule through Submit, and drains. The same config (seed included)
-// produces a byte-identical result at any executor count and on any
-// machine.
+// produces a byte-identical result at any executor count, any
+// ServeConfig.StepWorkers fan-out (the knob that maps the engine's real
+// per-frame CPU work onto physical cores) and on any machine.
 func Serve(cfg ServeConfig) (*ServeResult, error) { return serve.Run(cfg) }
 
 // LoadDataset reads a dataset from a JSON (optionally .gz) file.

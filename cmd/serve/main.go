@@ -15,6 +15,7 @@
 //	serve -streams 8 -sched edf -stale 0.5                    # deadline = arrive+stale
 //	serve -streams 6 -stream-fps 60,10,10,10,10,10 -sweep     # policy x batch table
 //	serve -streams 4 -trace trace.jsonl                       # per-frame event log (JSONL)
+//	serve -streams 16 -executors 4 -step-workers 8            # fan session stepping over 8 cores
 package main
 
 import (
@@ -54,6 +55,7 @@ func main() {
 	arrivals := flag.String("arrivals", "fixed", "arrival process: fixed | poisson")
 	duration := flag.Float64("duration", 30, "virtual seconds of offered load")
 	executors := flag.Int("executors", 1, "number of GPU executors")
+	stepWorkers := flag.Int("step-workers", 0, "goroutines stepping stream sessions per dispatch round (0 = GOMAXPROCS; any value is byte-identical)")
 	schedKind := flag.String("sched", "fifo", "scheduler: fifo | fair | priority | edf")
 	batch := flag.Int("batch", 1, "max frames fused into one batched launch")
 	priorities := flag.String("priorities", "", "comma-separated per-stream priority classes (higher first; priority scheduler)")
@@ -94,6 +96,7 @@ func main() {
 		Arrivals:     serve.ArrivalKind(*arrivals),
 		Duration:     *duration,
 		Executors:    *executors,
+		StepWorkers:  *stepWorkers,
 		Scheduler:    sched.Kind(*schedKind),
 		BatchSize:    *batch,
 		Priorities:   parseInts(*priorities),

@@ -69,6 +69,11 @@ type FrameOutput struct {
 	// Regions are the margin-expanded boxes handed to the refinement
 	// network (nil for the single-model system). The GPU timing model
 	// merges these into rectangular launches.
+	//
+	// Ownership: Regions aliases the System's per-frame scratch and is
+	// valid only until the System's next Step. Consumers that need it
+	// longer (none in this repo do) must copy; Detections is always a
+	// fresh slice and safe to retain.
 	Regions []geom.Box
 }
 
@@ -80,13 +85,27 @@ type System interface {
 	Step(f detector.Frame) FrameOutput
 }
 
-// scoredOf strips simulation metadata from detector output.
+// scoredOf strips simulation metadata from detector output. The result
+// is always freshly allocated — FrameOutput.Detections is retained by
+// callers (the experiment harness accumulates it per run).
 func scoredOf(dets []detector.Detection) []geom.Scored {
 	out := make([]geom.Scored, len(dets))
 	for i, d := range dets {
 		out[i] = d.Scored
 	}
 	return out
+}
+
+// filterScored appends the Scored views of the detections at or above
+// thresh to dst — the fused scoredOf+FilterScore of the cascade hot
+// path, so the intermediate copy never materializes.
+func filterScored(dst []geom.Scored, dets []detector.Detection, thresh float64) []geom.Scored {
+	for _, d := range dets {
+		if d.Score >= thresh {
+			dst = append(dst, d.Scored)
+		}
+	}
+	return dst
 }
 
 // SingleModel runs one detector on every full frame (Figure 1a).
@@ -152,7 +171,10 @@ func (c Config) margin() float64 {
 	return c.Margin
 }
 
-// Cascaded is the two-model cascade without a tracker (Figure 1b).
+// Cascaded is the two-model cascade without a tracker (Figure 1b). A
+// system instance carries per-frame scratch, so it must not be stepped
+// from multiple goroutines concurrently (sim.SystemFactory builds one
+// instance per worker).
 type Cascaded struct {
 	Proposal   *detector.Detector
 	Refinement *detector.Detector
@@ -160,6 +182,13 @@ type Cascaded struct {
 	name       string
 
 	w, h int
+
+	// Per-frame scratch reused across Steps: the region occupancy mask
+	// (word-zeroed between frames), the margin-expanded region list
+	// returned via FrameOutput.Regions, and the thresholded proposals.
+	mask    *geom.Mask
+	regions []geom.Box
+	props   []geom.Scored
 }
 
 // NewCascaded builds the cascade system.
@@ -181,16 +210,19 @@ func (s *Cascaded) Reset(seq *dataset.Sequence) { s.w, s.h = seq.Width, seq.Heig
 // Step implements System.
 func (s *Cascaded) Step(f detector.Frame) FrameOutput {
 	prop := s.Proposal.DetectFull(f)
-	proposals := geom.FilterScore(scoredOf(prop.Detections), s.Cfg.CThresh)
+	proposals := filterScored(s.props[:0], prop.Detections, s.Cfg.CThresh)
+	s.props = proposals
 
-	mask := geom.NewMask(float64(f.Width), float64(f.Height), s.Cfg.MaskCell)
+	s.mask = geom.ReuseMask(s.mask, float64(f.Width), float64(f.Height), s.Cfg.MaskCell)
+	mask := s.mask
 	frame := geom.NewBox(0, 0, float64(f.Width), float64(f.Height))
-	regions := make([]geom.Box, 0, len(proposals))
+	regions := s.regions[:0]
 	for _, p := range proposals {
 		r := p.Box.Expand(s.Cfg.margin()).Intersect(frame)
 		mask.AddBox(r)
 		regions = append(regions, r)
 	}
+	s.regions = regions
 	ref := s.Refinement.DetectRegions(f, mask, len(proposals))
 	return FrameOutput{
 		Detections: scoredOf(ref.Detections),
@@ -206,7 +238,10 @@ func (s *Cascaded) Step(f detector.Frame) FrameOutput {
 }
 
 // CaTDet is the full system of Figure 1c: the cascade plus a tracker
-// that predicts regions of interest from historic detections.
+// that predicts regions of interest from historic detections. A system
+// instance carries per-frame scratch, so it must not be stepped from
+// multiple goroutines concurrently (sim.SystemFactory builds one
+// instance per worker).
 type CaTDet struct {
 	Proposal   *detector.Detector
 	Refinement *detector.Detector
@@ -216,6 +251,18 @@ type CaTDet struct {
 	trk *tracker.Tracker
 	w   int
 	h   int
+
+	// Per-frame scratch reused across Steps: the region occupancy mask
+	// and the single-source mask of the Table 3 attribution pass (both
+	// word-zeroed between uses), the region list returned via
+	// FrameOutput.Regions, the thresholded proposals, the tracker's
+	// predictions and the confident detections fed back to it.
+	mask    *geom.Mask
+	srcMask *geom.Mask
+	regions []geom.Box
+	props   []geom.Scored
+	tracked []geom.Scored
+	trackIn []geom.Scored
 }
 
 // NewCaTDet builds the full CaTDet system.
@@ -257,15 +304,18 @@ func (s *CaTDet) Step(f detector.Frame) FrameOutput {
 		// Step before Reset: synthesize a tracker from frame dims.
 		s.Reset(&dataset.Sequence{Width: f.Width, Height: f.Height})
 	}
-	tracked := s.trk.Predict()
+	tracked := s.trk.PredictAppend(s.tracked[:0])
+	s.tracked = tracked
 
 	prop := s.Proposal.DetectFull(f)
-	proposals := geom.FilterScore(scoredOf(prop.Detections), s.Cfg.CThresh)
+	proposals := filterScored(s.props[:0], prop.Detections, s.Cfg.CThresh)
+	s.props = proposals
 
 	margin := s.Cfg.margin()
-	mask := geom.NewMask(float64(f.Width), float64(f.Height), s.Cfg.MaskCell)
+	s.mask = geom.ReuseMask(s.mask, float64(f.Width), float64(f.Height), s.Cfg.MaskCell)
+	mask := s.mask
 	frame := geom.NewBox(0, 0, float64(f.Width), float64(f.Height))
-	regions := make([]geom.Box, 0, len(proposals)+len(tracked))
+	regions := s.regions[:0]
 	for _, p := range proposals {
 		r := p.Box.Expand(margin).Intersect(frame)
 		mask.AddBox(r)
@@ -276,6 +326,7 @@ func (s *CaTDet) Step(f detector.Frame) FrameOutput {
 		mask.AddBox(r)
 		regions = append(regions, r)
 	}
+	s.regions = regions
 	nProps := len(proposals) + len(tracked)
 	ref := s.Refinement.DetectRegions(f, mask, nProps)
 	dets := scoredOf(ref.Detections)
@@ -287,7 +338,8 @@ func (s *CaTDet) Step(f detector.Frame) FrameOutput {
 	fromProposal := s.sourceOps(f, proposals, margin)
 
 	// Temporal feedback: confident detections update the tracker.
-	s.trk.Observe(geom.FilterScore(dets, s.Cfg.TrackThresh))
+	s.trackIn = geom.FilterScoreAppend(s.trackIn[:0], dets, s.Cfg.TrackThresh)
+	s.trk.Observe(s.trackIn)
 
 	return FrameOutput{
 		Detections: dets,
@@ -309,7 +361,8 @@ func (s *CaTDet) sourceOps(f detector.Frame, boxes []geom.Scored, margin float64
 	if len(boxes) == 0 {
 		return 0
 	}
-	m := geom.NewMask(float64(f.Width), float64(f.Height), s.Cfg.MaskCell)
+	s.srcMask = geom.ReuseMask(s.srcMask, float64(f.Width), float64(f.Height), s.Cfg.MaskCell)
+	m := s.srcMask
 	for _, b := range boxes {
 		m.AddBox(b.Box.Expand(margin))
 	}

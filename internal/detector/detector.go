@@ -50,6 +50,10 @@ type Result struct {
 }
 
 // Detector pairs an accuracy profile with a cost model.
+//
+// A Detector carries per-invocation scratch buffers, so one instance
+// must not be invoked from multiple goroutines concurrently; build one
+// instance per worker (sim.SystemFactory does exactly that).
 type Detector struct {
 	Profile Profile
 	Cost    ops.CostModel
@@ -57,6 +61,14 @@ type Detector struct {
 	// every known class. Set it to the dataset's vocabulary so Person-only
 	// datasets do not receive Car clutter.
 	Classes []dataset.Class
+
+	// Per-invocation scratch, reused across frames so the steady-state
+	// perceive path allocates only its returned Detections slice.
+	scratch struct {
+		raw    []Detection
+		scored []geom.Scored
+		nms    geom.NMSBuffer
+	}
 }
 
 // DetectFull runs the detector over the whole frame, the single-model
@@ -87,13 +99,16 @@ func (d *Detector) DetectRegions(f Frame, mask *geom.Mask, nProposals int) Resul
 }
 
 // perceive produces the raw detections. mask == nil means full frame.
+// Candidate accumulation, NMS ordering and suppression all run on the
+// detector's reused scratch; only the returned slice — which callers
+// own and may retain — is allocated fresh, at its exact final size.
 func (d *Detector) perceive(f Frame, mask *geom.Mask, nProposals int) []Detection {
 	p := d.Profile
 	modelH := hashString(p.Name)
 	seqH := hashString(f.SeqID)
 	frameKey := hashKey(modelH, seqH, uint64(f.Index))
 
-	var raw []Detection
+	raw := d.scratch.raw[:0]
 	for _, o := range f.Objects {
 		if mask != nil && mask.BoxCoverage(o.Box) < MinCoverage {
 			continue
@@ -116,22 +131,26 @@ func (d *Detector) perceive(f Frame, mask *geom.Mask, nProposals int) []Detectio
 		})
 	}
 
-	raw = append(raw, d.falsePositives(f, mask, nProposals, frameKey)...)
+	raw = d.appendFalsePositives(raw, f, mask, nProposals, frameKey)
+	d.scratch.raw = raw
 
-	// NMS over the combined output, preserving track identity.
-	scored := make([]geom.Scored, len(raw))
+	// NMS over the combined output. The index-carrying variant keeps
+	// track identity directly — kept[i] indexes raw — instead of the
+	// former O(kept*raw) struct-equality re-match.
+	if cap(d.scratch.scored) < len(raw) {
+		d.scratch.scored = make([]geom.Scored, len(raw))
+	}
+	scored := d.scratch.scored[:len(raw)]
 	for i, r := range raw {
 		scored[i] = r.Scored
 	}
-	kept := geom.NMS(scored, NMSIoU)
-	out := make([]Detection, 0, len(kept))
-	for _, k := range kept {
-		for _, r := range raw {
-			if r.Scored == k {
-				out = append(out, r)
-				break
-			}
-		}
+	kept := d.scratch.nms.Indices(scored, NMSIoU)
+	if len(kept) == 0 {
+		return nil
+	}
+	out := make([]Detection, len(kept))
+	for k, i := range kept {
+		out[k] = raw[i]
 	}
 	return out
 }
@@ -161,18 +180,19 @@ func (d *Detector) jitter(o dataset.Object, modelH, seqH, frame uint64) (geom.Bo
 	return geom.NewBoxCenter(cx, cy, w*sw, h*sh), q
 }
 
-// falsePositives emits the clutter detections for the frame. The count
-// is Poisson with mean FPRate scaled by the covered fraction; locations
-// are sampled deterministically and, in region mode, kept only when they
-// fall inside the mask (with resampling).
-func (d *Detector) falsePositives(f Frame, mask *geom.Mask, nProposals int, frameKey uint64) []Detection {
+// appendFalsePositives appends the frame's clutter detections to dst
+// and returns the extended slice. The count is Poisson with mean FPRate
+// scaled by the covered fraction; locations are sampled
+// deterministically and, in region mode, kept only when they fall
+// inside the mask (with resampling).
+func (d *Detector) appendFalsePositives(dst []Detection, f Frame, mask *geom.Mask, nProposals int, frameKey uint64) []Detection {
 	p := d.Profile
 	rate := p.FPRate
 	if mask != nil {
 		rate = rate*mask.CoveredFraction() + p.RegionFPPerProposal*float64(nProposals)
 	}
 	n := poissonHash(hashKey(frameKey, tagFP), rate)
-	var out []Detection
+	out := dst
 	fw, fh := float64(f.Width), float64(f.Height)
 	for i := 0; i < n; i++ {
 		var box geom.Box

@@ -40,6 +40,22 @@ func NewMask(w, h, cell float64) *Mask {
 	return &Mask{w: w, h: h, cell: cell, nx: nx, ny: ny, bits: make([]uint64, words)}
 }
 
+// ReuseMask returns an empty mask over a w-by-h pixel frame with the
+// given cell size, recycling m's allocation when it already has exactly
+// that geometry (word-zeroed via Reset) and allocating a fresh mask
+// otherwise. It is the per-frame variant of NewMask for hot paths that
+// rebuild a mask every step over a fixed-size frame.
+func ReuseMask(m *Mask, w, h, cell float64) *Mask {
+	if cell <= 0 {
+		cell = DefaultCell
+	}
+	if m == nil || m.w != w || m.h != h || m.cell != cell {
+		return NewMask(w, h, cell)
+	}
+	m.Reset()
+	return m
+}
+
 // FrameWidth returns the pixel width of the underlying frame.
 func (m *Mask) FrameWidth() float64 { return m.w }
 

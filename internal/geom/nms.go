@@ -11,35 +11,73 @@ type Scored struct {
 	Class int
 }
 
+// NMSBuffer holds reusable scratch for allocation-free non-maximum
+// suppression. The zero value is ready to use; a buffer is not safe for
+// concurrent use.
+type NMSBuffer struct {
+	order []int
+	kept  []int
+}
+
+// Indices performs the same class-aware suppression as NMS but returns
+// the kept detections as indices into dets, in descending score order
+// (ties keep input order). The returned slice is owned by the buffer
+// and valid until its next call; it aliases no caller memory, so the
+// input is never modified. Steady-state calls allocate nothing.
+func (b *NMSBuffer) Indices(dets []Scored, iouThresh float64) []int {
+	if len(dets) == 0 {
+		return nil
+	}
+	if cap(b.order) < len(dets) {
+		b.order = make([]int, len(dets))
+	}
+	order := b.order[:len(dets)]
+	for i := range order {
+		order[i] = i
+	}
+	// Stable insertion sort by descending score: identical permutation
+	// to sort.SliceStable without its closure/swapper allocations.
+	// Per-frame detection sets are small, so quadratic worst case is a
+	// non-issue and the nearly-sorted common case is linear.
+	for i := 1; i < len(order); i++ {
+		j := i
+		for j > 0 && dets[order[j]].Score > dets[order[j-1]].Score {
+			order[j], order[j-1] = order[j-1], order[j]
+			j--
+		}
+	}
+	kept := b.kept[:0]
+	for _, i := range order {
+		d := dets[i]
+		suppressed := false
+		for _, k := range kept {
+			if dets[k].Class == d.Class && IoU(dets[k].Box, d.Box) > iouThresh {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			kept = append(kept, i)
+		}
+	}
+	b.kept = kept
+	return kept
+}
+
 // NMS performs class-aware non-maximum suppression: within each class,
 // boxes are visited in descending score order and a box is suppressed if
 // its IoU with an already-kept box of the same class exceeds iouThresh.
 // The returned slice is ordered by descending score. The input is not
 // modified.
 func NMS(dets []Scored, iouThresh float64) []Scored {
-	if len(dets) == 0 {
+	var b NMSBuffer
+	idx := b.Indices(dets, iouThresh)
+	if idx == nil {
 		return nil
 	}
-	idx := make([]int, len(dets))
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.SliceStable(idx, func(a, b int) bool {
-		return dets[idx[a]].Score > dets[idx[b]].Score
-	})
-	kept := make([]Scored, 0, len(dets))
-	for _, i := range idx {
-		d := dets[i]
-		suppressed := false
-		for _, k := range kept {
-			if k.Class == d.Class && IoU(k.Box, d.Box) > iouThresh {
-				suppressed = true
-				break
-			}
-		}
-		if !suppressed {
-			kept = append(kept, d)
-		}
+	kept := make([]Scored, len(idx))
+	for k, i := range idx {
+		kept[k] = dets[i]
 	}
 	return kept
 }
@@ -78,13 +116,20 @@ func NMSClassAgnostic(dets []Scored, iouThresh float64) []Scored {
 // FilterScore returns the detections whose score is >= thresh, preserving
 // order. The input is not modified.
 func FilterScore(dets []Scored, thresh float64) []Scored {
-	out := make([]Scored, 0, len(dets))
+	return FilterScoreAppend(make([]Scored, 0, len(dets)), dets, thresh)
+}
+
+// FilterScoreAppend appends the detections whose score is >= thresh to
+// dst, preserving order, and returns the extended slice — the
+// allocation-free variant of FilterScore for callers that reuse a
+// scratch buffer across frames.
+func FilterScoreAppend(dst []Scored, dets []Scored, thresh float64) []Scored {
 	for _, d := range dets {
 		if d.Score >= thresh {
-			out = append(out, d)
+			dst = append(dst, d)
 		}
 	}
-	return out
+	return dst
 }
 
 // SortByScore returns a copy of dets sorted by descending score.

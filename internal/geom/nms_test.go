@@ -67,11 +67,94 @@ func TestNMSOutputSortedByScore(t *testing.T) {
 	}
 }
 
+// crowdedDets builds a dense random detection set with many same-class
+// overlaps, the worst case for suppression bookkeeping.
+func crowdedDets(n int, seed int64) []Scored {
+	rng := rand.New(rand.NewSource(seed))
+	dets := make([]Scored, 0, n)
+	for i := 0; i < n; i++ {
+		x := rng.Float64() * 200 // tight frame: heavy overlap
+		y := rng.Float64() * 120
+		dets = append(dets, Scored{
+			Box:   NewBox(x, y, x+15+rng.Float64()*40, y+15+rng.Float64()*40),
+			Score: rng.Float64(),
+			Class: rng.Intn(3),
+		})
+	}
+	return dets
+}
+
+// TestNMSIndicesMatchesNMS pins the index variant against the value
+// variant on crowded frames: same survivors, same order, and the
+// indices actually point at the kept inputs.
+func TestNMSIndicesMatchesNMS(t *testing.T) {
+	var buf NMSBuffer
+	for seed := int64(1); seed <= 5; seed++ {
+		dets := crowdedDets(150, seed)
+		want := NMS(dets, 0.5)
+		idx := buf.Indices(dets, 0.5)
+		if len(idx) != len(want) {
+			t.Fatalf("seed %d: kept %d indices, NMS kept %d", seed, len(idx), len(want))
+		}
+		for k, i := range idx {
+			if dets[i] != want[k] {
+				t.Fatalf("seed %d: index %d -> %v, NMS kept %v at position %d", seed, i, dets[i], want[k], k)
+			}
+		}
+	}
+}
+
+// TestNMSIndicesZeroAlloc pins the allocation budget of the reused
+// buffer: after warm-up, suppression allocates nothing per frame.
+func TestNMSIndicesZeroAlloc(t *testing.T) {
+	var buf NMSBuffer
+	dets := crowdedDets(120, 3)
+	buf.Indices(dets, 0.5) // warm the scratch
+	if n := testing.AllocsPerRun(50, func() { buf.Indices(dets, 0.5) }); n > 0 {
+		t.Errorf("NMSBuffer.Indices allocates %v per run after warm-up, want 0", n)
+	}
+}
+
+// TestReuseMask pins the recycle-vs-reallocate rule and the word-zeroed
+// reset: same geometry reuses the allocation empty, any geometry change
+// returns a fresh mask.
+func TestReuseMask(t *testing.T) {
+	m := NewMask(640, 480, 8)
+	m.AddBox(NewBox(0, 0, 64, 64))
+	if m.CoveredCells() == 0 {
+		t.Fatal("setup: mask empty after AddBox")
+	}
+	r := ReuseMask(m, 640, 480, 8)
+	if r != m {
+		t.Error("same geometry did not reuse the mask")
+	}
+	if r.CoveredCells() != 0 {
+		t.Error("reused mask not reset")
+	}
+	if ReuseMask(m, 640, 480, 16) == m {
+		t.Error("cell-size change reused the mask")
+	}
+	if ReuseMask(m, 320, 480, 8) == m {
+		t.Error("frame-size change reused the mask")
+	}
+	if ReuseMask(nil, 640, 480, 8) == nil {
+		t.Error("nil mask did not allocate")
+	}
+	if n := testing.AllocsPerRun(50, func() { ReuseMask(m, 640, 480, 8) }); n > 0 {
+		t.Errorf("ReuseMask allocates %v per run on the reuse path, want 0", n)
+	}
+}
+
 func TestFilterScore(t *testing.T) {
 	dets := []Scored{{Score: 0.1}, {Score: 0.5}, {Score: 0.9}}
 	out := FilterScore(dets, 0.5)
 	if len(out) != 2 || out[0].Score != 0.5 {
 		t.Fatalf("FilterScore = %v", out)
+	}
+	buf := make([]Scored, 0, 4)
+	app := FilterScoreAppend(buf, dets, 0.5)
+	if len(app) != 2 || app[0].Score != 0.5 || app[1].Score != 0.9 {
+		t.Fatalf("FilterScoreAppend = %v", app)
 	}
 }
 

@@ -68,9 +68,30 @@ func (m Model) RegionWorkload(region geom.Box, frameW, frameH float64, cost ops.
 // launch overhead). RoI-head work is ignored during merging — it is
 // invariant to the merge — so the cost function prices feature
 // extraction only.
+//
+// A candidate rectangle's time is alpha*(featOps*frac) + b with featOps
+// constant across the whole merge, so the cost-model call is hoisted
+// out of the greedy pair scan: the scan evaluates O(n²) candidates per
+// round, and walking the backbone's layer stack (allocating its RPN
+// net) per candidate dominated the serving-loop heap profile. The
+// hoisted form multiplies the same two floats RegionWorkload would,
+// so merge decisions are bit-identical.
 func (m Model) MergeRegions(regions []geom.Box, frameW, frameH float64, cost ops.CostModel) []geom.Box {
+	area := frameW * frameH
+	if frameW <= 0 || frameH <= 0 {
+		flat := m.LaunchTime(0)
+		return geom.GreedyMerge(regions, func(geom.Box) float64 { return flat })
+	}
+	feat := cost.RegionOps(int(frameW), int(frameH), 1, 0)
 	return geom.GreedyMerge(regions, func(b geom.Box) float64 {
-		return m.LaunchTime(m.RegionWorkload(b, frameW, frameH, cost, 0))
+		frac := b.Area() / area
+		if frac < 0 {
+			frac = 0
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		return m.LaunchTime(feat * frac)
 	})
 }
 

@@ -4,7 +4,11 @@
 // SORT does (Bewley et al., 2016).
 //
 // The solver runs in O(n^3) using the potential/augmenting-path
-// formulation, which is the standard production variant.
+// formulation, which is the standard production variant. The core works
+// on a flat row-major matrix through a reusable Solver workspace, so
+// per-frame association in the tracker allocates nothing at steady
+// state; the package-level Solve remains the convenient nested-slice
+// entry point.
 package hungarian
 
 import "math"
@@ -14,76 +18,98 @@ import "math"
 // finite so the potentials stay well-conditioned.
 const Disallowed = 1e30
 
-// Solve finds a minimum-cost assignment for the given cost matrix, where
-// cost[i][j] is the cost of assigning row i to column j. The matrix may be
-// rectangular; at most min(rows, cols) pairs are matched and every row and
-// column is used at most once.
+// Solver holds the workspace for repeated assignment problems. The zero
+// value is ready to use; buffers grow to the largest problem seen and
+// are reused, so steady-state Solve calls allocate nothing. A Solver is
+// not safe for concurrent use.
+type Solver struct {
+	u, v, minv []float64
+	p, way     []int
+	used       []bool
+	work       []float64 // transposed copy when rows > cols
+	rowMatch   []int
+	out        []int
+}
+
+// Solve finds a minimum-cost assignment for the n-by-m cost matrix given
+// in row-major flat form: cost[i*m+j] is the cost of assigning row i to
+// column j. At most min(n, m) pairs are matched and every row and column
+// is used at most once.
 //
 // The returned slice has one entry per row: rowMatch[i] is the column
 // assigned to row i, or -1 if the row is unmatched (more rows than
-// columns) or its only available pairings were Disallowed.
+// columns) or its only available pairings were Disallowed. The slice is
+// owned by the Solver and valid until its next call.
 //
-// All rows of cost must have equal length; Solve panics otherwise, since
-// a ragged matrix is a programming error, not an input condition.
-func Solve(cost [][]float64) []int {
-	n := len(cost)
+// cost must hold exactly n*m entries; Solve panics otherwise, since a
+// mis-shaped matrix is a programming error, not an input condition.
+func (s *Solver) Solve(cost []float64, n, m int) []int {
+	if len(cost) != n*m {
+		panic("hungarian: cost length does not match n*m")
+	}
 	if n == 0 {
 		return nil
 	}
-	m := len(cost[0])
-	for i := range cost {
-		if len(cost[i]) != m {
-			panic("hungarian: ragged cost matrix")
-		}
-	}
 	if m == 0 {
-		out := make([]int, n)
-		for i := range out {
-			out[i] = -1
-		}
-		return out
+		s.out = fillNeg(s.out, n)
+		return s.out
 	}
 
-	// The classic formulation requires rows <= cols; transpose if needed.
+	// The classic formulation requires rows <= cols; transpose into the
+	// reused scratch if needed. work is indexed [i*stride+j] throughout.
+	origN := n
 	transposed := false
 	work := cost
 	if n > m {
 		transposed = true
-		work = make([][]float64, m)
+		if cap(s.work) < n*m {
+			s.work = make([]float64, n*m)
+		}
+		s.work = s.work[:n*m]
 		for j := 0; j < m; j++ {
-			work[j] = make([]float64, n)
 			for i := 0; i < n; i++ {
-				work[j][i] = cost[i][j]
+				s.work[j*n+i] = cost[i*m+j]
 			}
 		}
+		work = s.work
 		n, m = m, n
 	}
+	stride := m
 
 	// Potentials u (rows) and v (columns), 1-indexed internally with a
 	// virtual 0th row/column as in the standard e-maxx formulation.
-	u := make([]float64, n+1)
-	v := make([]float64, m+1)
-	p := make([]int, m+1) // p[j] = row matched to column j (1-indexed), 0 = free
-	way := make([]int, m+1)
+	s.u = fillZeroF(s.u, n+1)
+	s.v = fillZeroF(s.v, m+1)
+	s.p = fillZeroI(s.p, m+1) // p[j] = row matched to column j (1-indexed), 0 = free
+	s.way = fillZeroI(s.way, m+1)
+	if cap(s.minv) < m+1 {
+		s.minv = make([]float64, m+1)
+	}
+	if cap(s.used) < m+1 {
+		s.used = make([]bool, m+1)
+	}
+	u, v, p, way := s.u, s.v, s.p, s.way
 
 	for i := 1; i <= n; i++ {
 		p[0] = i
 		j0 := 0
-		minv := make([]float64, m+1)
-		used := make([]bool, m+1)
+		minv := s.minv[:m+1]
+		used := s.used[:m+1]
 		for j := range minv {
 			minv[j] = math.Inf(1)
+			used[j] = false
 		}
 		for {
 			used[j0] = true
 			i0 := p[j0]
 			delta := math.Inf(1)
 			j1 := -1
+			row := work[(i0-1)*stride:]
 			for j := 1; j <= m; j++ {
 				if used[j] {
 					continue
 				}
-				cur := work[i0-1][j-1] - u[i0] - v[j]
+				cur := row[j-1] - u[i0] - v[j]
 				if cur < minv[j] {
 					minv[j] = cur
 					way[j] = j0
@@ -113,10 +139,8 @@ func Solve(cost [][]float64) []int {
 		}
 	}
 
-	rowMatch := make([]int, n)
-	for i := range rowMatch {
-		rowMatch[i] = -1
-	}
+	rowMatch := fillNeg(s.rowMatch, n)
+	s.rowMatch = rowMatch
 	for j := 1; j <= m; j++ {
 		if p[j] > 0 {
 			rowMatch[p[j]-1] = j - 1
@@ -125,25 +149,94 @@ func Solve(cost [][]float64) []int {
 	// Strip matches that only exist because the solver was forced through
 	// a Disallowed edge.
 	for i, j := range rowMatch {
-		if j >= 0 && work[i][j] >= Disallowed/2 {
+		if j >= 0 && work[i*stride+j] >= Disallowed/2 {
 			rowMatch[i] = -1
 		}
 	}
 
 	if !transposed {
-		return rowMatch
+		s.out = append(s.out[:0], rowMatch...)
+		return s.out
 	}
 	// Invert the row/column roles back to the caller's orientation.
-	out := make([]int, m)
-	for i := range out {
-		out[i] = -1
-	}
+	out := fillNeg(s.out, origN)
+	s.out = out
 	for i, j := range rowMatch {
 		if j >= 0 {
 			out[j] = i
 		}
 	}
 	return out
+}
+
+// fillNeg resizes buf to n entries of -1, reusing its backing array.
+func fillNeg(buf []int, n int) []int {
+	if cap(buf) < n {
+		buf = make([]int, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = -1
+	}
+	return buf
+}
+
+// fillZeroF resizes buf to n zeros, reusing its backing array.
+func fillZeroF(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		buf = make([]float64, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+// fillZeroI resizes buf to n zeros, reusing its backing array.
+func fillZeroI(buf []int, n int) []int {
+	if cap(buf) < n {
+		buf = make([]int, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+// Solve finds a minimum-cost assignment for the given cost matrix, where
+// cost[i][j] is the cost of assigning row i to column j. The matrix may be
+// rectangular; at most min(rows, cols) pairs are matched and every row and
+// column is used at most once.
+//
+// The returned slice has one entry per row: rowMatch[i] is the column
+// assigned to row i, or -1 if the row is unmatched (more rows than
+// columns) or its only available pairings were Disallowed.
+//
+// All rows of cost must have equal length; Solve panics otherwise, since
+// a ragged matrix is a programming error, not an input condition.
+//
+// Solve is the convenience wrapper over Solver for one-shot problems; it
+// flattens the matrix and returns a caller-owned slice. Hot paths that
+// solve every frame should hold a Solver and pass flat matrices.
+func Solve(cost [][]float64) []int {
+	n := len(cost)
+	if n == 0 {
+		return nil
+	}
+	m := len(cost[0])
+	for i := range cost {
+		if len(cost[i]) != m {
+			panic("hungarian: ragged cost matrix")
+		}
+	}
+	flat := make([]float64, 0, n*m)
+	for i := range cost {
+		flat = append(flat, cost[i]...)
+	}
+	var s Solver
+	return s.Solve(flat, n, m)
 }
 
 // TotalCost sums the cost of an assignment produced by Solve, counting

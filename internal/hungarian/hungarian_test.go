@@ -211,6 +211,68 @@ func TestSolveIsMatching(t *testing.T) {
 	}
 }
 
+// TestSolverMatchesSolve pins the reusable flat-matrix Solver against
+// the nested-slice wrapper on random rectangular matrices (both
+// orientations, with Disallowed edges mixed in): identical assignments
+// entry for entry, including across reuses of one Solver.
+func TestSolverMatchesSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var s Solver
+	for trial := 0; trial < 300; trial++ {
+		n, m := rng.Intn(9), rng.Intn(9)
+		nested := make([][]float64, n)
+		flat := make([]float64, 0, n*m)
+		for i := range nested {
+			nested[i] = make([]float64, m)
+			for j := range nested[i] {
+				c := rng.Float64() * 50
+				if rng.Intn(6) == 0 {
+					c = Disallowed
+				}
+				nested[i][j] = c
+			}
+			flat = append(flat, nested[i]...)
+		}
+		want := Solve(nested)
+		got := s.Solve(flat, n, m)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d (%dx%d): solver returned %d rows, Solve %d", trial, n, m, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d (%dx%d): solver %v != Solve %v", trial, n, m, got, want)
+			}
+		}
+	}
+}
+
+// TestSolverZeroAlloc pins the steady-state allocation budget: after
+// the workspace has grown to the problem size, Solve allocates nothing.
+func TestSolverZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const n, m = 12, 7 // rows > cols exercises the transpose scratch too
+	flat := make([]float64, n*m)
+	for i := range flat {
+		flat[i] = rng.Float64()
+	}
+	var s Solver
+	s.Solve(flat, n, m) // warm the workspace
+	if a := testing.AllocsPerRun(100, func() { s.Solve(flat, n, m) }); a > 0 {
+		t.Errorf("Solver.Solve allocates %v per run after warm-up, want 0", a)
+	}
+}
+
+// TestSolverShapePanics rejects a mis-shaped flat matrix.
+func TestSolverShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on mis-shaped flat matrix")
+		}
+	}()
+	var s Solver
+	s.Solve(make([]float64, 5), 2, 3)
+}
+
 func BenchmarkSolve50x50(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	cost := make([][]float64, 50)

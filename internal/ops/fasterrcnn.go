@@ -18,19 +18,34 @@ type FasterRCNN struct {
 
 	featScale float64
 	headScale float64
+
+	// rpn is the RPN stack built once against the backbone at
+	// construction. FeatureOps sits inside per-frame (and, via region
+	// merging, per-candidate-rectangle) pricing loops; rebuilding the
+	// net there allocated on every call and dominated the serving heap
+	// profile. Precomputed, it is read-only and safe to share across
+	// the serving loop's parallel step workers.
+	rpn Net
 }
 
 // NewFasterRCNN builds an uncalibrated cost model (scales = 1) with the
-// default 300-proposal configuration.
+// default 300-proposal configuration. The Backbone must not be mutated
+// after construction (the RPN stack is derived from it here).
 func NewFasterRCNN(b Backbone) *FasterRCNN {
-	return &FasterRCNN{Backbone: b, NumProposals: DefaultProposals, featScale: 1, headScale: 1}
+	return &FasterRCNN{
+		Backbone:     b,
+		NumProposals: DefaultProposals,
+		featScale:    1,
+		headScale:    1,
+		rpn:          rpnNet(b),
+	}
 }
 
 // rpnNet returns the RPN stack attached to the trunk output: a 3x3 conv
 // preserving channels plus 1x1 objectness and box-regression heads.
-func (m *FasterRCNN) rpnNet() Net {
-	c := m.Backbone.Trunk.OutChannels()
-	return Net{Name: m.Backbone.Name + ".rpn", Layers: []Layer{
+func rpnNet(b Backbone) Net {
+	c := b.Trunk.OutChannels()
+	return Net{Name: b.Name + ".rpn", Layers: []Layer{
 		{Name: "rpn.conv", Kind: Conv, Kernel: 3, Stride: 1, InCh: c, OutCh: c},
 		{Name: "rpn.cls", Kind: Conv, Kernel: 1, Stride: 1, InCh: c, OutCh: 2 * NumAnchors},
 		{Name: "rpn.reg", Kind: Conv, Kernel: 1, Stride: 1, InCh: c, OutCh: 4 * NumAnchors},
@@ -42,7 +57,7 @@ func (m *FasterRCNN) rpnNet() Net {
 func (m *FasterRCNN) FeatureOps(w, h int) float64 {
 	trunk := m.Backbone.Trunk.Ops(w, h)
 	stride := m.Backbone.Trunk.OutputStride()
-	rpn := m.rpnNet().Ops((w+stride-1)/stride, (h+stride-1)/stride)
+	rpn := m.rpn.Ops((w+stride-1)/stride, (h+stride-1)/stride)
 	return (trunk + rpn) * m.featScale
 }
 

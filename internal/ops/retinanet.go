@@ -17,28 +17,36 @@ func NewRetinaNet(b Backbone) *RetinaNet {
 	return &RetinaNet{Backbone: b, scale: 1}
 }
 
-// fpnAndSubnets returns the FPN lateral/output convs plus the class and
-// box subnets evaluated over the pyramid levels P3..P7. Costs are
-// expressed per level and summed with the appropriate strides.
-func (m *RetinaNet) fpnAndSubnets(w, h int) float64 {
-	const fpnCh = 256
+const fpnCh = 256
+
+// retinaSubnet and retinaLateral are the fixed FPN nets, built once:
+// fpnAndSubnets sits inside pricing loops (via RegionOps) and must not
+// allocate per call. retinaStrides are the pyramid levels P3..P7.
+var (
 	// Subnets: 4 3x3x256 convs plus a prediction conv, run on every
 	// pyramid level, twice (classification and regression).
-	subnet := Net{Name: "subnet", Layers: []Layer{
+	retinaSubnet = Net{Name: "subnet", Layers: []Layer{
 		{Kind: Conv, Kernel: 3, Stride: 1, InCh: fpnCh, OutCh: fpnCh},
 		{Kind: Conv, Kernel: 3, Stride: 1, InCh: fpnCh, OutCh: fpnCh},
 		{Kind: Conv, Kernel: 3, Stride: 1, InCh: fpnCh, OutCh: fpnCh},
 		{Kind: Conv, Kernel: 3, Stride: 1, InCh: fpnCh, OutCh: fpnCh},
 		{Kind: Conv, Kernel: 3, Stride: 1, InCh: fpnCh, OutCh: 9 * 4},
 	}}
-	lateral := Net{Name: "lateral", Layers: []Layer{
+	retinaLateral = Net{Name: "lateral", Layers: []Layer{
 		{Kind: Conv, Kernel: 1, Stride: 1, InCh: 1024, OutCh: fpnCh},
 		{Kind: Conv, Kernel: 3, Stride: 1, InCh: fpnCh, OutCh: fpnCh},
 	}}
+	retinaStrides = [...]int{8, 16, 32, 64, 128}
+)
+
+// fpnAndSubnets returns the FPN lateral/output convs plus the class and
+// box subnets evaluated over the pyramid levels P3..P7. Costs are
+// expressed per level and summed with the appropriate strides.
+func (m *RetinaNet) fpnAndSubnets(w, h int) float64 {
 	total := 0.0
-	for _, stride := range []int{8, 16, 32, 64, 128} {
+	for _, stride := range retinaStrides {
 		lw, lh := (w+stride-1)/stride, (h+stride-1)/stride
-		total += lateral.Ops(lw, lh) + 2*subnet.Ops(lw, lh)
+		total += retinaLateral.Ops(lw, lh) + 2*retinaSubnet.Ops(lw, lh)
 	}
 	return total
 }

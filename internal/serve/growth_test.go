@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/video"
+)
+
+// TestIncrementalWorldMatchesFromScratch pins the serving layer's lazy
+// world growth: a Server whose streams are grown frame by frame (and in
+// one submission jump) holds sequences byte-identical to a from-scratch
+// GenerateSequence at the final length. This is the regrowth-
+// equivalence guarantee that replaced the regenerate-at-doubled-length
+// scheme: served frames are never regenerated, only extended.
+func TestIncrementalWorldMatchesFromScratch(t *testing.T) {
+	cfg := testConfig()
+	cfg.Streams = 2
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Stream 0 grows frame by frame; stream 1 jumps straight to a high
+	// frame index (sparse submission must still materialize the prefix).
+	const last = 130
+	for fr := 0; fr <= last; fr++ {
+		if err := srv.Submit(0, fr, float64(fr)/cfg.FPS); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := srv.Submit(1, last, float64(last)/cfg.FPS); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	norm := srv.Config()
+	base := norm.Preset
+	base.FPS = norm.FPS
+	for s := 0; s < cfg.Streams; s++ {
+		p := base
+		p.FramesPerSeq = last + 1
+		want := video.GenerateSequence(p, norm.Seed, s)
+		got := srv.f.seqs[s]
+		if len(got.Frames) != last+1 {
+			t.Fatalf("stream %d grew to %d frames, want %d", s, len(got.Frames), last+1)
+		}
+		if got.ID != want.ID {
+			t.Fatalf("stream %d sequence ID %q, want %q", s, got.ID, want.ID)
+		}
+		for fi := range want.Frames {
+			fw, fg := want.Frames[fi], got.Frames[fi]
+			if fw.Index != fg.Index || len(fw.Objects) != len(fg.Objects) {
+				t.Fatalf("stream %d frame %d differs from from-scratch generation", s, fi)
+			}
+			for oi := range fw.Objects {
+				if fw.Objects[oi] != fg.Objects[oi] {
+					t.Fatalf("stream %d frame %d object %d differs from from-scratch generation", s, fi, oi)
+				}
+			}
+		}
+	}
+}

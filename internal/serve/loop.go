@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -58,11 +59,16 @@ func (a *agenda) Pop() any     { old := *a; n := len(old); e := old[n-1]; *a = o
 func (a *agenda) add(e event)  { heap.Push(a, e) }
 func (a *agenda) next() event  { return heap.Pop(a).(event) }
 
-// admitted is one frame an executor pulled from the scheduler,
-// together with the degrade decision taken at its admission.
+// admitted is one frame an executor pulled from the scheduler, together
+// with the degrade decision taken at its admission and, once the step
+// phase has run, the frame's pricing component: the full dispatch price
+// under per-frame launches (BatchSize <= 1), or the frame's workload
+// feeding the fused-launch price under batching.
 type admitted struct {
 	job      sched.Job
 	degraded bool
+	service  float64 // BatchSize <= 1: this frame's dispatch price
+	work     float64 // BatchSize > 1: this frame's ops for BatchFrames
 }
 
 // streamAcc accumulates one stream's counters during the run.
@@ -120,16 +126,36 @@ type fleet struct {
 	cascade bool
 
 	// Per-stream state. presets[s] is the (possibly rate-rescaled)
-	// world preset of stream s; seqs[s] is its lazily grown synthetic
-	// sequence (frames exist up to the largest index submitted so far).
+	// world preset of stream s; growers[s] incrementally extends its
+	// synthetic sequence seqs[s] (frames exist up to the largest index
+	// submitted so far).
 	presets  []video.Preset
 	sessions []core.System
+	growers  []*video.Grower
 	seqs     []*dataset.Sequence
 
 	agenda  agenda
 	sched   sched.Scheduler
 	busy    int
 	batches int
+
+	// workers is Config.StepWorkers: the fan-out width of the step
+	// phase. poolWork feeds the persistent step workers one active
+	// stream index at a time (started lazily on the first parallel
+	// round, released by closePool); poolWG is the round barrier. The
+	// remaining fields are the dispatch round's reused scratch: the
+	// flat list of admitted frames, the [start,end) bounds of each
+	// gathered batch within it, the per-stream step groups with the
+	// list of active streams, and the workload vector for batched
+	// pricing.
+	workers     int
+	poolWork    chan int
+	poolWG      sync.WaitGroup
+	adm         []admitted
+	batchBounds [][2]int
+	byStream    [][]*admitted
+	active      []int
+	works       []float64
 
 	sink Sink
 	win  *latWindow
@@ -150,6 +176,7 @@ func newFleet(cfg Config) (*fleet, error) {
 		cascade: cfg.Spec.Kind != sim.Single,
 		sink:    cfg.Sink,
 		win:     newLatWindow(cfg.StatsWindow),
+		workers: cfg.StepWorkers,
 	}
 	if cfg.GPU != nil {
 		f.gpu = *cfg.GPU
@@ -190,6 +217,7 @@ func newFleet(cfg Config) (*fleet, error) {
 
 	factory := cfg.Spec.Factory(base.ClassList())
 	f.sessions = make([]core.System, cfg.Streams)
+	f.growers = make([]*video.Grower, cfg.Streams)
 	f.seqs = make([]*dataset.Sequence, cfg.Streams)
 	f.acc = make([]streamAcc, cfg.Streams)
 	for s := 0; s < cfg.Streams; s++ {
@@ -197,34 +225,23 @@ func newFleet(cfg Config) (*fleet, error) {
 		if err != nil {
 			return nil, err
 		}
-		p := f.presets[s]
-		p.FramesPerSeq = 0
-		f.seqs[s] = video.GenerateSequence(p, f.seed, s)
+		f.growers[s] = video.NewGrower(f.presets[s], f.seed, s)
+		f.seqs[s] = f.growers[s].Sequence()
 		sys.Reset(f.seqs[s])
 		f.sessions[s] = sys
 	}
 	return f, nil
 }
 
-// ensureFrame grows stream s's world so frame exists. Sequences are
-// regenerated with doubled length — generation is prefix-stable, so
-// frames already served never change — which keeps the open Server's
-// memory proportional to the largest frame index actually submitted.
+// ensureFrame grows stream s's world so frame exists. The grower
+// extends the sequence in place, emitting only the missing frames —
+// frames already served are never touched (generation is
+// prefix-stable), total work over a Server's lifetime is linear in the
+// largest frame index actually submitted (the former
+// regenerate-at-doubled-length scheme redid the whole prefix on every
+// growth, O(n²) total), and memory stays proportional to that index.
 func (f *fleet) ensureFrame(s, frame int) {
-	seq := f.seqs[s]
-	if frame < len(seq.Frames) {
-		return
-	}
-	n := len(seq.Frames)
-	if n < 64 {
-		n = 64
-	}
-	for n <= frame {
-		n *= 2
-	}
-	p := f.presets[s]
-	p.FramesPerSeq = n
-	*seq = *video.GenerateSequence(p, f.seed, s)
+	f.growers[s].Grow(frame + 1)
 }
 
 // advanceTo processes every agenda event up to and including virtual
@@ -284,25 +301,51 @@ func (f *fleet) admit(j sched.Job) {
 }
 
 // dispatch hands queued frames to idle executors until one of the two
-// runs out. Each dispatch gathers up to BatchSize frames into one
-// launch; stale frames are skipped at admission, and the degrade
-// policy looks at how many frames are still waiting behind the
-// admitted one.
+// runs out, in three phases. Phase 1 (serial): gather every batch the
+// round's idle executors can take — up to BatchSize frames each, with
+// the stale-skip and degrade policies applied per frame as it pops —
+// exactly as the serial engine would, since gathering touches only the
+// scheduler and the clock, never the step results. Phase 2 (parallel):
+// step every admitted frame's session, fanned out per stream across
+// StepWorkers goroutines (see stepRound for why this cannot change the
+// output). Phase 3 (serial): price, schedule completions and account
+// every batch in gather order, which is the exact event order the
+// serial engine produced.
+//
+// With multiple executors freed at one instant, the only observable
+// reordering against the pre-parallel engine is that all of the
+// round's stale-skip sink events now precede its served sink events
+// (phase 1 runs before phase 3); both carry the same decision instant,
+// so the sink's nondecreasing-time contract is unchanged, and with one
+// executor (at most one batch per round) the event stream is
+// byte-identical.
 func (f *fleet) dispatch() {
+	f.adm = f.adm[:0]
+	f.batchBounds = f.batchBounds[:0]
 	for f.busy < f.cfg.Executors && f.sched.Len() > 0 {
-		batch := f.gather()
-		if len(batch) == 0 {
+		start := len(f.adm)
+		f.gather()
+		if len(f.adm) == start {
 			continue // every candidate was stale; re-check the queue
 		}
-		service := f.serveBatch(batch)
+		f.busy++
+		f.batchBounds = append(f.batchBounds, [2]int{start, len(f.adm)})
+	}
+	if len(f.batchBounds) == 0 {
+		return
+	}
+	f.stepRound()
+	for _, bb := range f.batchBounds {
+		batch := f.adm[bb[0]:bb[1]]
+		service := f.priceBatch(batch)
 		if service > f.maxService {
 			f.maxService = service
 		}
-		f.busy++
 		f.batches++
 		head := batch[0].job
 		f.agenda.add(event{t: f.now + service, kind: evCompletion, stream: head.Stream, frame: head.Frame})
-		for _, adm := range batch {
+		for i := range batch {
+			adm := &batch[i]
 			a := &f.acc[adm.job.Stream]
 			a.served++
 			if adm.degraded {
@@ -320,11 +363,12 @@ func (f *fleet) dispatch() {
 	}
 }
 
-// gather pulls up to BatchSize servable frames from the scheduler,
-// applying the stale-skip and degrade policies per frame as it pops.
-func (f *fleet) gather() []admitted {
-	var batch []admitted
-	for len(batch) < f.cfg.BatchSize && f.sched.Len() > 0 {
+// gather pulls up to BatchSize servable frames from the scheduler into
+// f.adm, applying the stale-skip and degrade policies per frame as it
+// pops.
+func (f *fleet) gather() {
+	start := len(f.adm)
+	for len(f.adm)-start < f.cfg.BatchSize && f.sched.Len() > 0 {
 		j, ok := f.sched.Next()
 		if !ok {
 			break
@@ -338,9 +382,88 @@ func (f *fleet) gather() []admitted {
 			continue
 		}
 		degraded := f.cascade && f.cfg.DegradeDepth > 0 && f.sched.Len() >= f.cfg.DegradeDepth
-		batch = append(batch, admitted{job: j, degraded: degraded})
+		f.adm = append(f.adm, admitted{job: j, degraded: degraded})
 	}
-	return batch
+}
+
+// stepRound runs the round's real CPU work — stepping each admitted
+// frame's detection session and pricing the frame — across StepWorkers
+// goroutines. Determinism survives the fan-out because the work
+// decomposes per stream: each stream's session is private (its own
+// detectors, tracker and scratch), frames of one stream are stepped
+// sequentially in gather order (every scheduler preserves per-stream
+// arrival order), the frame prices depend only on the step output and
+// read-only shared state (gpu model, world dimensions), and phase 3
+// consumes the results in gather order regardless of which worker
+// produced them when. Workers share nothing mutable, so the fan-out is
+// also race-free by construction.
+func (f *fleet) stepRound() {
+	if f.workers <= 1 || len(f.adm) == 1 {
+		for i := range f.adm {
+			f.stepAdmitted(&f.adm[i])
+		}
+		return
+	}
+	if f.byStream == nil {
+		f.byStream = make([][]*admitted, f.cfg.Streams)
+	}
+	f.active = f.active[:0]
+	for i := range f.adm {
+		s := f.adm[i].job.Stream
+		if len(f.byStream[s]) == 0 {
+			f.active = append(f.active, s)
+		}
+		f.byStream[s] = append(f.byStream[s], &f.adm[i])
+	}
+	if len(f.active) <= 1 {
+		for i := range f.adm {
+			f.stepAdmitted(&f.adm[i])
+		}
+	} else {
+		if f.poolWork == nil {
+			f.startPool()
+		}
+		f.poolWG.Add(len(f.active))
+		for _, s := range f.active {
+			f.poolWork <- s
+		}
+		f.poolWG.Wait()
+	}
+	for _, s := range f.active {
+		f.byStream[s] = f.byStream[s][:0]
+	}
+}
+
+// startPool launches the persistent step workers, lazily on the first
+// round that has cross-stream work. Rounds are frequent (one per
+// agenda event that frees an executor), so the pool amortizes the
+// goroutine spawn across the fleet's lifetime: a round costs one
+// channel send per active stream plus the WaitGroup barrier. The send
+// happens-before the worker's read of byStream, and poolWG.Wait
+// happens-after every stepAdmitted write, so phase 3 reads the step
+// results race-free. Idle workers block on the channel; closePool
+// releases them.
+func (f *fleet) startPool() {
+	f.poolWork = make(chan int)
+	for w := 0; w < f.workers; w++ {
+		go func() {
+			for s := range f.poolWork {
+				for _, adm := range f.byStream[s] {
+					f.stepAdmitted(adm)
+				}
+				f.poolWG.Done()
+			}
+		}()
+	}
+}
+
+// closePool releases the step workers. Idempotent; called by
+// Server.Close. A fleet that never went parallel has no pool.
+func (f *fleet) closePool() {
+	if f.poolWork != nil {
+		close(f.poolWork)
+		f.poolWork = nil
+	}
 }
 
 // step advances the frame's stream session. Sessions are stepped in
@@ -358,61 +481,64 @@ func (f *fleet) step(j sched.Job) core.FrameOutput {
 	})
 }
 
-// serveBatch steps every frame of the batch and prices the dispatch.
-// A single-frame dispatch under BatchSize 1 keeps the per-frame,
-// launch-by-launch pricing of PR 2 (byte-identical results); larger
-// batches fuse into one launch via gpumodel.Model.BatchFrames.
-func (f *fleet) serveBatch(batch []admitted) float64 {
-	if f.cfg.BatchSize <= 1 {
-		return f.serveOne(batch[0])
-	}
-	works := make([]float64, len(batch))
-	for i, adm := range batch {
-		works[i] = f.stepWork(adm.job, adm.degraded)
-	}
-	cpu := f.gpu.CPUOverheadCaTDet
-	if !f.cascade {
-		cpu = f.gpu.CPUOverheadSingle
-	}
-	return f.gpu.BatchFrames(works, cpu).Total
-}
-
-// serveOne prices one frame as its own dispatch, launch by launch.
+// stepAdmitted advances the frame's session and computes its pricing
+// component in place: the full launch-by-launch dispatch price under
+// BatchSize 1 (byte-identical to the PR 2 path), or the frame's total
+// operations for the fused BatchFrames launch under batching. Pricing
+// happens here, at step time, because FrameOutput.Regions aliases the
+// session's scratch and is only valid until that session's next Step —
+// and because the price is a pure function of the step output and
+// read-only state, computing it on the worker is deterministic and
+// parallelizes the region-merge arithmetic for free.
 //
 // Degraded frames are a timing-model shed only: the session still
 // steps in full (the tracker keeps its refinement-fed state) and just
 // the price switches to the proposal-only launch — see
 // Config.DegradeDepth for what that does and does not model.
-func (f *fleet) serveOne(adm admitted) float64 {
+func (f *fleet) stepAdmitted(adm *admitted) {
 	out := f.step(adm.job)
 	seq := f.seqs[adm.job.Stream]
-	switch {
-	case !f.cascade:
-		return f.gpu.SingleModelFrame(out.Ops.Refinement).Total
-	case adm.degraded:
-		return f.gpu.ProposalOnlyFrame(out.Ops.Proposal).Total
-	default:
-		return f.gpu.CaTDetFrame(out.Ops.Proposal, out.Regions,
-			float64(seq.Width), float64(seq.Height), f.refCost, out.NumProposals).Total
+	if f.cfg.BatchSize <= 1 {
+		switch {
+		case !f.cascade:
+			adm.service = f.gpu.SingleModelFrame(out.Ops.Refinement).Total
+		case adm.degraded:
+			adm.service = f.gpu.ProposalOnlyFrame(out.Ops.Proposal).Total
+		default:
+			adm.service = f.gpu.CaTDetFrame(out.Ops.Proposal, out.Regions,
+				float64(seq.Width), float64(seq.Height), f.refCost, out.NumProposals).Total
+		}
+		return
 	}
-}
-
-// stepWork steps the frame's session and returns the frame's total
-// operations for batched pricing: the full workload that one fused
-// launch must execute for this frame.
-func (f *fleet) stepWork(j sched.Job, degraded bool) float64 {
-	out := f.step(j)
-	seq := f.seqs[j.Stream]
 	switch {
 	case !f.cascade:
-		return out.Ops.Refinement
-	case degraded:
-		return out.Ops.Proposal
+		adm.work = out.Ops.Refinement
+	case adm.degraded:
+		adm.work = out.Ops.Proposal
 	default:
 		ft := f.gpu.CaTDetFrame(out.Ops.Proposal, out.Regions,
 			float64(seq.Width), float64(seq.Height), f.refCost, out.NumProposals)
-		return out.Ops.Proposal + ft.MergedWorkload
+		adm.work = out.Ops.Proposal + ft.MergedWorkload
 	}
+}
+
+// priceBatch folds the batch's precomputed step results into the
+// dispatch's service time. A single-frame dispatch under BatchSize 1
+// keeps the per-frame, launch-by-launch pricing of PR 2; larger
+// batches fuse into one launch via gpumodel.Model.BatchFrames.
+func (f *fleet) priceBatch(batch []admitted) float64 {
+	if f.cfg.BatchSize <= 1 {
+		return batch[0].service
+	}
+	f.works = f.works[:0]
+	for i := range batch {
+		f.works = append(f.works, batch[i].work)
+	}
+	cpu := f.gpu.CPUOverheadCaTDet
+	if !f.cascade {
+		cpu = f.gpu.CPUOverheadSingle
+	}
+	return f.gpu.BatchFrames(f.works, cpu).Total
 }
 
 // job builds the scheduler job for an arriving frame: the deadline is

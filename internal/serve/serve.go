@@ -25,11 +25,15 @@
 // a Server, replays the config's preset arrival schedule through
 // Submit, and drains. Everything runs on a virtual clock; the same
 // Config (seed included) always produces a byte-identical Result, at
-// any executor count and on any machine.
+// any executor count, any Config.StepWorkers fan-out — the engine's
+// real CPU work, stepping the per-stream detection sessions, is
+// parallelized across streams within each dispatch round and merged
+// back in deterministic order — and on any machine.
 package serve
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/gpumodel"
 	"repro/internal/serve/sched"
@@ -108,6 +112,20 @@ type Config struct {
 	// Executors is the number of identical GPU executors fed from the
 	// scheduler (default 1).
 	Executors int
+
+	// StepWorkers is the number of goroutines the engine fans the real
+	// CPU work of a dispatch round — stepping the per-stream detection
+	// sessions — out to (default: GOMAXPROCS). Executors are virtual
+	// (they shape the discrete-event timeline); StepWorkers is what
+	// maps the simulation onto physical cores. Frames gathered in one
+	// round are grouped by stream, streams are stepped concurrently
+	// (sessions are private per stream), per-stream frame order is
+	// preserved, and results merge back in dispatch order — so every
+	// value, including 1 (the fully serial engine), produces
+	// byte-identical Results. Like sim.Engine.Workers it is an
+	// execution knob, not scenario identity, and is never serialized
+	// into the Result.
+	StepWorkers int
 
 	// Scheduler selects the queue discipline deciding which waiting
 	// frame an idle executor serves next and which frame a full queue
@@ -193,6 +211,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Executors <= 0 {
 		c.Executors = 1
+	}
+	if c.StepWorkers <= 0 {
+		c.StepWorkers = runtime.GOMAXPROCS(0)
 	}
 	if c.Scheduler == "" {
 		c.Scheduler = sched.FIFO

@@ -47,9 +47,12 @@ func marshal(t *testing.T, r *Result) []byte {
 }
 
 // TestDeterminism reruns the same scenario under every scheduler, at
-// 1, 2 and 8 executors and at batch sizes 1 and 4, and requires
-// byte-identical JSON each time: no policy's event loop has hidden
-// scheduling, wall-clock or map-order dependence.
+// 1, 2 and 8 executors, at batch sizes 1 and 4, and at step-worker
+// counts 1, 2 and 8, and requires byte-identical JSON each time: no
+// policy's event loop has hidden scheduling, wall-clock or map-order
+// dependence, and the parallel step fan-out merges back into exactly
+// the serial engine's output (workers=1 is the fully serial path the
+// golden files pin).
 func TestDeterminism(t *testing.T) {
 	for _, kind := range []sched.Kind{sched.FIFO, sched.Fair, sched.Priority, sched.EDF} {
 		for _, executors := range []int{1, 2, 8} {
@@ -62,11 +65,20 @@ func TestDeterminism(t *testing.T) {
 				if kind == sched.Priority {
 					cfg.Priorities = []int{1, 0, 1, 0}
 				}
+				cfg.StepWorkers = 1
 				first := marshal(t, mustRun(t, cfg))
 				again := marshal(t, mustRun(t, cfg))
 				if !bytes.Equal(first, again) {
 					t.Errorf("sched=%s executors=%d batch=%d: rerun not byte-identical\n first: %s\nsecond: %s",
 						kind, executors, batch, first, again)
+				}
+				for _, workers := range []int{2, 8} {
+					cfg.StepWorkers = workers
+					par := marshal(t, mustRun(t, cfg))
+					if !bytes.Equal(first, par) {
+						t.Errorf("sched=%s executors=%d batch=%d: StepWorkers=%d not byte-identical to serial\nserial:   %s\nparallel: %s",
+							kind, executors, batch, workers, first, par)
+					}
 				}
 			}
 		}

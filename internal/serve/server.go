@@ -276,13 +276,15 @@ func (s *Server) Drain(ctx context.Context) (*Result, error) {
 	return s.f.result(), nil
 }
 
-// Close marks the server closed: subsequent Submit, Ingest and Drain
-// calls fail with ErrClosed. Close does not drain — call Drain first
-// if the backlog's results matter. Closing twice is a no-op.
+// Close marks the server closed — subsequent Submit, Ingest and Drain
+// calls fail with ErrClosed — and releases the engine's step-worker
+// pool. Close does not drain — call Drain first if the backlog's
+// results matter. Closing twice is a no-op.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.closed = true
+	s.f.closePool()
 	return nil
 }
 

@@ -12,6 +12,8 @@
 package tracker
 
 import (
+	"sort"
+
 	"repro/internal/geom"
 	"repro/internal/hungarian"
 )
@@ -114,13 +116,27 @@ func (t *Track) CurrentBox() geom.Box {
 	return geom.NewBoxCenter(t.X, t.Y, t.S, t.S*t.R)
 }
 
-// Tracker carries the live tracks for one video sequence.
+// Tracker carries the live tracks for one video sequence. A Tracker
+// owns per-frame scratch buffers, so one instance must not be observed
+// from multiple goroutines concurrently.
 type Tracker struct {
 	cfg    Config
 	frameW float64
 	frameH float64
 	tracks []*Track
 	nextID int
+
+	// Per-frame scratch, reused across Observe/Predict calls so the
+	// steady-state association path allocates nothing: the assignment
+	// solver workspace, the flat cost matrix, candidate index lists,
+	// match flags, the per-frame class list and the prediction buffer.
+	scratch struct {
+		solver                   hungarian.Solver
+		cost                     []float64
+		ti, di                   []int
+		matchedTrack, matchedDet []bool
+		classes                  []int
+	}
 
 	// Optional tracklet recording (see tracklets.go).
 	recordTracklets bool
@@ -153,18 +169,27 @@ func (t *Tracker) Tracks() []*Track { return t.tracks }
 // falls below zero.
 func (t *Tracker) Observe(dets []geom.Scored) {
 	defer func() { t.frameCounter++ }()
-	matchedTrack := make([]bool, len(t.tracks))
-	matchedDet := make([]bool, len(dets))
+	matchedTrack := resetBools(&t.scratch.matchedTrack, len(t.tracks))
+	matchedDet := resetBools(&t.scratch.matchedDet, len(dets))
 
 	if t.cfg.PerClass {
-		classes := map[int]bool{}
+		// Classes participate independently — a class's assignment only
+		// touches that class's tracks and detections — so the iteration
+		// order across classes cannot change the outcome. Sorted unique
+		// classes in a reused buffer replace the former per-frame map.
+		classes := t.scratch.classes[:0]
 		for _, tr := range t.tracks {
-			classes[tr.Class] = true
+			classes = append(classes, tr.Class)
 		}
 		for _, d := range dets {
-			classes[d.Class] = true
+			classes = append(classes, d.Class)
 		}
-		for c := range classes {
+		sort.Ints(classes)
+		t.scratch.classes = classes
+		for i, c := range classes {
+			if i > 0 && classes[i-1] == c {
+				continue
+			}
 			t.associate(dets, matchedTrack, matchedDet, &c)
 		}
 	} else {
@@ -219,9 +244,11 @@ func (t *Tracker) Observe(dets []geom.Scored) {
 }
 
 // associate runs one Hungarian assignment between track predictions and
-// detections. If class is non-nil only that class participates.
+// detections. If class is non-nil only that class participates. The
+// candidate index lists, the flat cost matrix and the solver workspace
+// are all reused scratch.
 func (t *Tracker) associate(dets []geom.Scored, matchedTrack, matchedDet []bool, class *int) {
-	var ti, di []int
+	ti, di := t.scratch.ti[:0], t.scratch.di[:0]
 	for i, tr := range t.tracks {
 		if !matchedTrack[i] && (class == nil || tr.Class == *class) {
 			ti = append(ti, i)
@@ -232,23 +259,27 @@ func (t *Tracker) associate(dets []geom.Scored, matchedTrack, matchedDet []bool,
 			di = append(di, j)
 		}
 	}
+	t.scratch.ti, t.scratch.di = ti, di
 	if len(ti) == 0 || len(di) == 0 {
 		return
 	}
-	cost := make([][]float64, len(ti))
+	if cap(t.scratch.cost) < len(ti)*len(di) {
+		t.scratch.cost = make([]float64, len(ti)*len(di))
+	}
+	cost := t.scratch.cost[:len(ti)*len(di)]
 	for a, i := range ti {
 		pred := t.tracks[i].PredictedBox()
-		cost[a] = make([]float64, len(di))
+		row := cost[a*len(di):]
 		for b, j := range di {
 			iou := geom.IoU(pred, dets[j].Box)
 			if iou <= t.cfg.IoUThreshold {
-				cost[a][b] = hungarian.Disallowed
+				row[b] = hungarian.Disallowed
 			} else {
-				cost[a][b] = -iou
+				row[b] = -iou
 			}
 		}
 	}
-	assign := hungarian.Solve(cost)
+	assign := t.scratch.solver.Solve(cost, len(ti), len(di))
 	for a, b := range assign {
 		if b < 0 {
 			continue
@@ -258,6 +289,20 @@ func (t *Tracker) associate(dets []geom.Scored, matchedTrack, matchedDet []bool,
 		matchedTrack[i] = true
 		matchedDet[j] = true
 	}
+}
+
+// resetBools resizes *buf to n false entries, reusing its backing array.
+func resetBools(buf *[]bool, n int) []bool {
+	b := *buf
+	if cap(b) < n {
+		b = make([]bool, n)
+	}
+	b = b[:n]
+	for i := range b {
+		b[i] = false
+	}
+	*buf = b
+	return b
 }
 
 // update applies the motion model to a matched track.
@@ -316,10 +361,18 @@ func (t *Tracker) kalmanUpdate(tr *Track, cx, cy, w float64) {
 // Predict returns the tracks' predicted next-frame locations after the
 // workload filters of Section 4.1: too-narrow predictions and
 // predictions largely chopped by the frame boundary are dropped. The
-// Score carries the track confidence normalized to [0, 1].
+// Score carries the track confidence normalized to [0, 1]. The caller
+// owns the returned slice; per-frame hot paths should prefer
+// PredictAppend with a reused buffer.
 func (t *Tracker) Predict() []geom.Scored {
+	return t.PredictAppend(nil)
+}
+
+// PredictAppend appends the filtered predictions of Predict to dst and
+// returns the extended slice, allocating only when dst lacks capacity.
+func (t *Tracker) PredictAppend(dst []geom.Scored) []geom.Scored {
 	frame := geom.NewBox(0, 0, t.frameW, t.frameH)
-	var out []geom.Scored
+	out := dst
 	for _, tr := range t.tracks {
 		b := tr.PredictedBox()
 		if b.Width() < t.cfg.MinPredWidth {

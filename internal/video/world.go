@@ -107,6 +107,29 @@ func Generate(p Preset, seed int64) *dataset.Dataset {
 
 // GenerateSequence builds a single sequence (index s) of the preset.
 func GenerateSequence(p Preset, seed int64, s int) *dataset.Sequence {
+	g := NewGrower(p, seed, s)
+	g.Grow(p.FramesPerSeq)
+	return g.Sequence()
+}
+
+// Grower incrementally extends one synthetic sequence. It owns the
+// world's live generator state (RNG stream, live objects, ego motion),
+// so growing a sequence frame by frame consumes the randomness in
+// exactly the order a from-scratch generation at the final length
+// would: every frame the grower emits is byte-identical to the same
+// frame of GenerateSequence at any sufficient FramesPerSeq (the
+// prefix-stability the serving layer's open-ended worlds rely on),
+// while extension costs O(new frames) instead of the former
+// regenerate-at-doubled-length O(n) per growth step.
+type Grower struct {
+	g   *generator
+	seq *dataset.Sequence
+}
+
+// NewGrower prepares the world of sequence s of the preset (warm-up
+// included) with zero frames emitted; Preset.FramesPerSeq is ignored —
+// callers grow to whatever length they need.
+func NewGrower(p Preset, seed int64, s int) *Grower {
 	rng := rand.New(rand.NewSource(seed*1_000_003 + int64(s)*7919 + 17))
 	seq := &dataset.Sequence{
 		ID:     fmt.Sprintf("%s-%04d", p.Name, s),
@@ -123,16 +146,25 @@ func GenerateSequence(p Preset, seed int64, s int) *dataset.Sequence {
 	for t := 0; t < warm; t++ {
 		g.step()
 	}
+	return &Grower{g: g, seq: seq}
+}
 
-	for f := 0; f < p.FramesPerSeq; f++ {
-		g.step()
-		frame := dataset.Frame{Index: f, Labeled: isLabeled(p, f)}
-		for _, o := range g.live {
-			frame.Objects = append(frame.Objects, g.observe(o))
+// Sequence returns the grown sequence. The same pointer is returned
+// every time and Grow extends its Frames in place, so holders (e.g. a
+// detection session Reset on it) observe the growth.
+func (w *Grower) Sequence() *dataset.Sequence { return w.seq }
+
+// Grow extends the sequence to at least n frames; shorter or equal
+// targets are no-ops. Frames already emitted are never touched.
+func (w *Grower) Grow(n int) {
+	for f := len(w.seq.Frames); f < n; f++ {
+		w.g.step()
+		frame := dataset.Frame{Index: f, Labeled: isLabeled(w.g.p, f)}
+		for _, o := range w.g.live {
+			frame.Objects = append(frame.Objects, w.g.observe(o))
 		}
-		seq.Frames = append(seq.Frames, frame)
+		w.seq.Frames = append(w.seq.Frames, frame)
 	}
-	return seq
 }
 
 type generator struct {

@@ -440,6 +440,47 @@ func TestGeneratePrefixStable(t *testing.T) {
 	}
 }
 
+// TestGrowerMatchesGenerate pins incremental growth against
+// from-scratch generation: growing a sequence in small irregular
+// chunks yields frames byte-identical to GenerateSequence at the final
+// length, and Grow never disturbs frames already emitted.
+func TestGrowerMatchesGenerate(t *testing.T) {
+	p := MiniKITTIPreset()
+	const total = 97
+	pLong := p
+	pLong.FramesPerSeq = total
+	want := GenerateSequence(pLong, 7, 1)
+
+	g := NewGrower(p, 7, 1)
+	seq := g.Sequence()
+	if len(seq.Frames) != 0 {
+		t.Fatalf("fresh grower has %d frames, want 0", len(seq.Frames))
+	}
+	for _, target := range []int{1, 2, 7, 7, 30, 29, 64, total} { // repeats and shrinks are no-ops
+		g.Grow(target)
+	}
+	if g.Sequence() != seq {
+		t.Fatal("Grow moved the sequence pointer")
+	}
+	if len(seq.Frames) != total {
+		t.Fatalf("grown to %d frames, want %d", len(seq.Frames), total)
+	}
+	if seq.ID != want.ID || seq.Width != want.Width || seq.Height != want.Height || seq.FPS != want.FPS {
+		t.Fatal("sequence identity differs from GenerateSequence")
+	}
+	for fi := range want.Frames {
+		fw, fg := want.Frames[fi], seq.Frames[fi]
+		if fw.Index != fg.Index || fw.Labeled != fg.Labeled || len(fw.Objects) != len(fg.Objects) {
+			t.Fatalf("frame %d header/object count differs from from-scratch generation", fi)
+		}
+		for oi := range fw.Objects {
+			if fw.Objects[oi] != fg.Objects[oi] {
+				t.Fatalf("frame %d object %d differs from from-scratch generation", fi, oi)
+			}
+		}
+	}
+}
+
 // TestRescalePreservesPerSecondStats generates the same world at the
 // native rate and at 3x the frame rate and compares per-second
 // statistics: object density per frame (a per-instant quantity) and
