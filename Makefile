@@ -14,8 +14,9 @@ SWEEP_OUT       ?= sweep.txt
 TRACE_OUT       ?= trace.jsonl
 PROFILE_BENCH   ?= BenchmarkServeOverload|BenchmarkServeParallelStep
 STATICCHECK     ?= staticcheck
+FUZZ_TIME       ?= 20s
 
-.PHONY: all fmt vet lint build test race bench bench-json profile repro sweep trace clean
+.PHONY: all fmt vet lint build test race cover fuzz bench bench-json profile repro sweep trace clean
 
 all: fmt vet build test
 
@@ -48,6 +49,20 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Per-package statement coverage of the full suite (the golden preset
+# and chaos harnesses push internal/serve; CI runs this as its own job
+# so coverage erosion is visible per PR).
+cover:
+	$(GO) test -cover ./...
+
+# Short coverage-guided exploration of Server.Submit beyond the seeded
+# corpus: adversarial (stream, frame, arriveAt) triples under every
+# reconnect x poison policy combination. CI runs this as a smoke pass;
+# raise FUZZ_TIME locally for a real hunt.
+fuzz:
+	$(GO) test ./internal/serve -run '^FuzzSubmit$$' -fuzz '^FuzzSubmit$$' \
+		-fuzztime $(FUZZ_TIME)
 
 # One iteration of every benchmark: a smoke pass that also emits the
 # headline reproduction metrics (b.ReportMetric) into $(BENCH_OUT).
@@ -82,12 +97,21 @@ repro:
 
 # Reduced serving policy sweep: one hot Poisson stream against five
 # quiet ones on a saturated executor, replayed under every scheduler x
-# batch-size combination. The table makes scheduling/batching
-# regressions visible per PR (CI uploads $(SWEEP_OUT) as an artifact).
+# batch-size combination, followed by every scenario pack replayed
+# under the pinned chaos conditions (dropouts, restarted numbering,
+# FPS jitter, clock skew, poison pills). The tables make scheduling/
+# batching and chaos-robustness regressions visible per PR (CI uploads
+# $(SWEEP_OUT) as an artifact).
 sweep:
 	@$(GO) run ./cmd/serve -preset mini -streams 6 -fps 12 \
 		-stream-fps 60,12,12,12,12,12 -arrivals poisson -executors 1 \
 		-duration 6 -stale 0.4 -sweep > $(SWEEP_OUT); \
+		st=$$?; if [ $$st -ne 0 ]; then cat $(SWEEP_OUT); exit $$st; fi; \
+		echo >> $(SWEEP_OUT); \
+		$(GO) run ./cmd/serve -preset all -streams 3 -fps 10 -duration 4 \
+		-executors 1 -stale 0.4 -reconnect resume-with-gap -poison drop \
+		-chaos dropout=30,len=0.6,renumber,jitter=0.15,skew=0.08,poison=0.04 \
+		-sweep >> $(SWEEP_OUT); \
 		st=$$?; cat $(SWEEP_OUT); exit $$st
 
 # Per-frame event trace of a reduced overload scenario: one JSONL

@@ -128,6 +128,15 @@ func CityPersonsPreset() WorldPreset { return video.CityPersonsPreset() }
 // MiniKITTIPreset returns a small fast preset for demos and tests.
 func MiniKITTIPreset() WorldPreset { return video.MiniKITTIPreset() }
 
+// PresetNames lists every registered scenario pack, sorted — the valid
+// arguments to PresetByName (and cmd/serve's -preset flag).
+func PresetNames() []string { return video.PresetNames() }
+
+// PresetByName resolves a registered scenario pack (kitti, crowd,
+// highway, drone, night, sports, ...); an unknown name fails with an
+// error listing every valid choice.
+func PresetByName(name string) (WorldPreset, error) { return video.PresetByName(name) }
+
 // Generate builds the synthetic dataset for a preset and seed.
 func Generate(p WorldPreset, seed int64) *Dataset { return video.Generate(p, seed) }
 
@@ -191,13 +200,38 @@ type (
 	ServeArrival = serve.Arrival
 	// ServeSource produces arrivals for Server.Ingest.
 	ServeSource = serve.Source
+	// ServeReconnectPolicy selects what Submit does when a stream's
+	// frame numbering goes backwards (a camera reconnecting).
+	ServeReconnectPolicy = serve.ReconnectPolicy
+	// ServePoisonPolicy selects what Submit does with corrupt
+	// submissions (negative or out-of-bound frames, non-finite stamps).
+	ServePoisonPolicy = serve.PoisonPolicy
+	// ServeChaos describes operational faults injected into a preset
+	// arrival schedule as a pure, seeded transform: dropouts, restarted
+	// numbering, FPS jitter, clock skew and poison pills.
+	ServeChaos = serve.Chaos
 )
 
 // Per-frame serving outcomes.
 const (
-	ServeEventServed       = serve.EventServed
-	ServeEventDroppedQueue = serve.EventDroppedQueue
-	ServeEventDroppedStale = serve.EventDroppedStale
+	ServeEventServed        = serve.EventServed
+	ServeEventDroppedQueue  = serve.EventDroppedQueue
+	ServeEventDroppedStale  = serve.EventDroppedStale
+	ServeEventDroppedPoison = serve.EventDroppedPoison
+	ServeEventReconnect     = serve.EventReconnect
+)
+
+// Reconnect and poison policies, and the default per-stream frame-index
+// bound (ServeConfig.MaxFrame) guarding against runaway indices.
+const (
+	ServeReconnectReject = serve.ReconnectReject
+	ServeReconnectResume = serve.ReconnectResume
+	ServeReconnectReset  = serve.ReconnectReset
+
+	ServePoisonError = serve.PoisonError
+	ServePoisonDrop  = serve.PoisonDrop
+
+	ServeDefaultMaxFrame = serve.DefaultMaxFrame
 )
 
 // ErrServerClosed is returned by Server methods after Close.

@@ -114,6 +114,51 @@ func TestFacadeServerPath(t *testing.T) {
 	}
 }
 
+// TestFacadeChaosPath exercises the scenario-pack registry and the
+// chaos/reconnect/poison surface through the public facade: a pack
+// resolved by name runs under every fault channel, the relaxed
+// policies absorb the faults, and the books still balance with pills
+// counted outside the partition.
+func TestFacadeChaosPath(t *testing.T) {
+	preset, err := PresetByName("night")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(PresetNames()) < 6 {
+		t.Fatalf("preset registry lists only %v", PresetNames())
+	}
+	res, err := Serve(ServeConfig{
+		Spec: SystemSpec{
+			Kind: CaTDet, Proposal: "resnet10a", Refinement: "resnet50", Cfg: DefaultConfig(),
+		},
+		Preset:    preset,
+		Seed:      7,
+		Streams:   3,
+		FPS:       10,
+		Duration:  3,
+		Executors: 1,
+		Reconnect: ServeReconnectResume,
+		Poison:    ServePoisonDrop,
+		Chaos: ServeChaos{
+			DropoutRate: 30, DropoutMeanLen: 0.6, Renumber: true,
+			FPSJitter: 0.15, ClockSkew: 0.08, PoisonRate: 0.05,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := res.Fleet
+	if fl.Served == 0 {
+		t.Fatalf("chaotic fleet served nothing: %+v", fl)
+	}
+	if fl.Reconnects == 0 || fl.DroppedPoison == 0 {
+		t.Fatalf("chaos channels did not fire: %d reconnects, %d pills", fl.Reconnects, fl.DroppedPoison)
+	}
+	if fl.Served+fl.DroppedQueue+fl.DroppedStale != fl.Arrived {
+		t.Fatalf("frame accounting leak under chaos: %+v", fl)
+	}
+}
+
 func TestFacadeErrorsOnUnknownModel(t *testing.T) {
 	if _, err := NewSystem(SystemSpec{Kind: Single, Refinement: "alexnet"}, nil); err == nil {
 		t.Fatal("expected error")

@@ -16,6 +16,10 @@
 //	serve -streams 6 -stream-fps 60,10,10,10,10,10 -sweep     # policy x batch table
 //	serve -streams 4 -trace trace.jsonl                       # per-frame event log (JSONL)
 //	serve -streams 16 -executors 4 -step-workers 8            # fan session stepping over 8 cores
+//	serve -preset night -streams 8                            # low-light pack: noisier detectors
+//	serve -chaos dropout=30,renumber -reconnect resume-with-gap
+//	serve -chaos jitter=0.2,skew=0.1,poison=0.05 -poison drop # flaky clients + corrupt frames
+//	serve -preset all -sweep                                  # one comparison row per scenario pack
 package main
 
 import (
@@ -48,7 +52,7 @@ func main() {
 	system := flag.String("system", "catdet", "system kind: single | cascaded | catdet")
 	proposal := flag.String("proposal", "resnet10a", "proposal network (cascaded/catdet)")
 	refinement := flag.String("refinement", "resnet50", "refinement network (or the single model)")
-	preset := flag.String("preset", "kitti", "synthetic world: kitti | citypersons | mini")
+	preset := flag.String("preset", "kitti", "scenario pack: "+strings.Join(video.PresetNames(), " | ")+" (or \"all\" with -sweep)")
 	streams := flag.Int("streams", 4, "number of concurrent video streams")
 	fps := flag.Float64("fps", 0, "per-stream frame rate (0 = preset native)")
 	streamFPS := flag.String("stream-fps", "", "comma-separated per-stream rates overriding -fps (heterogeneous load)")
@@ -63,6 +67,10 @@ func main() {
 	policy := flag.String("policy", "drop-oldest", "queue overflow policy: drop-oldest | drop-newest")
 	stale := flag.Float64("stale", 0, "skip frames older than this many seconds at admission (0 = off)")
 	degradeDepth := flag.Int("degrade-depth", 0, "degrade to proposal-only when this many frames wait behind the admitted one (0 = off)")
+	reconnect := flag.String("reconnect", "reject", "camera reconnect policy: reject | resume-with-gap | reset-session")
+	poison := flag.String("poison", "error", "corrupt-frame policy: error | drop")
+	maxFrame := flag.Int("max-frame", 0, "largest accepted frame index (0 = default bound)")
+	chaos := flag.String("chaos", "", "fault injection, comma-separated k=v: dropout=<per-min>, len=<s>, renumber, jitter=<std>, skew=<s>, poison=<rate>")
 	seed := flag.Int64("seed", 1, "world and arrival seed")
 	jsonOut := flag.Bool("json", false, "emit the full machine-readable result instead of text")
 	sweep := flag.Bool("sweep", false, "run the scheduler x batch grid on this scenario and print a comparison table")
@@ -70,15 +78,22 @@ func main() {
 	flag.Parse()
 
 	var p video.Preset
-	switch *preset {
-	case "kitti":
-		p = video.KITTIPreset()
-	case "citypersons":
-		p = video.CityPersonsPreset()
-	case "mini":
-		p = video.MiniKITTIPreset()
-	default:
-		log.Fatalf("unknown preset %q", *preset)
+	presetAll := *preset == "all"
+	if presetAll {
+		if !*sweep {
+			log.Fatal("-preset all runs one row per scenario pack; it needs -sweep")
+		}
+		p = video.KITTIPreset() // placeholder; the sweep swaps packs in
+	} else {
+		var err error
+		if p, err = video.PresetByName(*preset); err != nil {
+			log.Fatal(err) // carries the full valid-name list
+		}
+	}
+
+	ch, err := parseChaos(*chaos)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	cfg := serve.Config{
@@ -104,6 +119,15 @@ func main() {
 		Drop:         serve.DropKind(*policy),
 		MaxStaleness: *stale,
 		DegradeDepth: *degradeDepth,
+		Reconnect:    serve.ReconnectPolicy(*reconnect),
+		Poison:       serve.PoisonPolicy(*poison),
+		MaxFrame:     *maxFrame,
+		Chaos:        ch,
+	}
+	if err := cfg.Validate(); err != nil {
+		// Field-path errors ("serve: Chaos.PoisonRate: ...") point at
+		// the flag to fix before any session is built.
+		log.Fatal(err)
 	}
 	if *trace != "" {
 		if *sweep {
@@ -131,6 +155,10 @@ func main() {
 	if *sweep {
 		if *jsonOut {
 			log.Fatal("-sweep prints a text comparison table; it has no -json form")
+		}
+		if presetAll {
+			runPresetSweep(cfg)
+			return
 		}
 		runSweep(cfg)
 		return
@@ -183,6 +211,78 @@ func runSweep(base serve.Config) {
 	fmt.Println("\nspread% is max-min per-stream drop rate: lower means the load is")
 	fmt.Println("shed evenly instead of starving the unlucky streams. Batched rows")
 	fmt.Println("pay the per-launch constant b once per batch (alpha*SUM(W) + b).")
+}
+
+// runPresetSweep replays the same fleet and fault config against every
+// scenario pack and prints one comparison row per pack: how the same
+// serving stack fares under a dense crowd, a high-speed highway, a
+// drone top-down, a low-light night feed and a fast-pan sports camera.
+func runPresetSweep(base serve.Config) {
+	fmt.Printf("preset sweep: %d streams, %d executors, %.1fs, seed %d (same fleet every row)\n\n",
+		base.Streams, base.Executors, base.Duration, base.Seed)
+	fmt.Println("preset       served/offered  drop%   reconn  pills  p50       p99       tput_fps  util%")
+	for _, name := range video.PresetNames() {
+		p, err := video.PresetByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := base
+		cfg.Preset = p
+		res, err := serve.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fl := res.Fleet
+		fmt.Printf("%-12s %6d/%-7d  %5.1f  %6d  %5d  %-8s  %-8s  %8.1f  %5.1f\n",
+			name, fl.Served, fl.Arrived, 100*fl.DropRate, fl.Reconnects, fl.DroppedPoison,
+			msStr(fl.Latency.P50), msStr(fl.Latency.P99), fl.Throughput, 100*res.Utilization)
+	}
+	fmt.Println("\nEach pack is a distinct world distribution (density, object size,")
+	fmt.Println("apparent speed); night additionally degrades the detectors' noise.")
+}
+
+// parseChaos parses the -chaos flag: a comma-separated k=v list
+// ("dropout=30,len=0.6,renumber,jitter=0.15,skew=0.08,poison=0.04").
+// "" means no chaos. Range checking is Config.Validate's job; this
+// only maps names to fields.
+func parseChaos(s string) (serve.Chaos, error) {
+	var ch serve.Chaos
+	if s == "" {
+		return ch, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		key, val, hasVal := strings.Cut(part, "=")
+		if key == "renumber" {
+			if hasVal {
+				return ch, fmt.Errorf("chaos: renumber is a bare switch, got %q", part)
+			}
+			ch.Renumber = true
+			continue
+		}
+		if !hasVal {
+			return ch, fmt.Errorf("chaos: %q is not k=v (keys: dropout, len, renumber, jitter, skew, poison)", part)
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil {
+			return ch, fmt.Errorf("chaos: bad value in %q: %v", part, err)
+		}
+		switch key {
+		case "dropout":
+			ch.DropoutRate = v
+		case "len":
+			ch.DropoutMeanLen = v
+		case "jitter":
+			ch.FPSJitter = v
+		case "skew":
+			ch.ClockSkew = v
+		case "poison":
+			ch.PoisonRate = v
+		default:
+			return ch, fmt.Errorf("chaos: unknown key %q (keys: dropout, len, renumber, jitter, skew, poison)", key)
+		}
+	}
+	return ch, nil
 }
 
 func msStr(s float64) string { return fmt.Sprintf("%.1fms", 1000*s) }

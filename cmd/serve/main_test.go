@@ -1,0 +1,74 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+	"repro/internal/sim"
+	"repro/internal/video"
+)
+
+// TestPresetResolution pins the registry-backed preset lookup: every
+// registered pack resolves, and an unknown name fails with an error
+// that lists every valid choice (the old switch silently knew only
+// three names and its error named none).
+func TestPresetResolution(t *testing.T) {
+	for _, name := range video.PresetNames() {
+		if _, err := video.PresetByName(name); err != nil {
+			t.Errorf("registered preset %q does not resolve: %v", name, err)
+		}
+	}
+	_, err := video.PresetByName("dashcam")
+	if err == nil {
+		t.Fatal("unknown preset resolved")
+	}
+	for _, name := range video.PresetNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("unknown-preset error %q does not list %q", err, name)
+		}
+	}
+}
+
+// TestParseChaos pins the -chaos flag grammar.
+func TestParseChaos(t *testing.T) {
+	ch, err := parseChaos("dropout=30,len=0.6,renumber,jitter=0.15,skew=0.08,poison=0.04")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := serve.Chaos{
+		DropoutRate: 30, DropoutMeanLen: 0.6, Renumber: true,
+		FPSJitter: 0.15, ClockSkew: 0.08, PoisonRate: 0.04,
+	}
+	if ch != want {
+		t.Errorf("parseChaos = %+v, want %+v", ch, want)
+	}
+	if ch, err := parseChaos(""); err != nil || ch != (serve.Chaos{}) {
+		t.Errorf("empty spec: got %+v, %v; want zero chaos, nil", ch, err)
+	}
+	for _, bad := range []string{"dropout", "renumber=1", "rate=3", "jitter=fast"} {
+		if _, err := parseChaos(bad); err == nil {
+			t.Errorf("parseChaos(%q) accepted a malformed spec", bad)
+		}
+	}
+}
+
+// TestChaosKnobErrorsCarryFieldPaths pins that a chaos misconfiguration
+// assembled from the flags surfaces as a Config.Validate field-path
+// error, naming the knob to fix.
+func TestChaosKnobErrorsCarryFieldPaths(t *testing.T) {
+	ch, err := parseChaos("dropout=30,renumber")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := sim.SystemSpec{Kind: sim.CaTDet, Proposal: "resnet10a", Refinement: "resnet50", Cfg: core.DefaultConfig()}
+	cfg := serve.Config{Spec: spec, Chaos: ch} // reconnect left at the rejecting default
+	err = cfg.Validate()
+	if err == nil {
+		t.Fatal("Validate accepted renumbering chaos under the rejecting reconnect policy")
+	}
+	if !strings.Contains(err.Error(), "serve: Chaos.Renumber") {
+		t.Errorf("error %q does not carry the Chaos.Renumber field path", err)
+	}
+}

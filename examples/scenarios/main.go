@@ -1,0 +1,61 @@
+// Scenario-pack tour: every registered world distribution offered to
+// the same CaTDet fleet under identical operational chaos — camera
+// dropouts with restarted frame numbering (resumed server-side), FPS
+// jitter, skewed clocks and in-transit corruption dropped as poison.
+// One fleet, one fault model, eight worlds: the spread across rows is
+// purely what the scene statistics (density, object size, apparent
+// speed, sensor noise) do to the cascade under load.
+package main
+
+import (
+	"fmt"
+
+	catdet "repro"
+)
+
+func main() {
+	spec := catdet.SystemSpec{
+		Kind: catdet.CaTDet, Proposal: "resnet10a", Refinement: "resnet50", Cfg: catdet.DefaultConfig(),
+	}
+	base := catdet.ServeConfig{
+		Spec:         spec,
+		Seed:         1,
+		Streams:      3,
+		FPS:          10,
+		Duration:     6,
+		Executors:    1,
+		QueueCap:     8,
+		MaxStaleness: 0.4,
+		Reconnect:    catdet.ServeReconnectResume,
+		Poison:       catdet.ServePoisonDrop,
+		Chaos: catdet.ServeChaos{
+			DropoutRate: 30, DropoutMeanLen: 0.6, Renumber: true,
+			FPSJitter: 0.15, ClockSkew: 0.08, PoisonRate: 0.04,
+		},
+	}
+	fmt.Printf("chaotic fleet: %d streams x %.0f fps, %.0fs on %d executor, dropouts+renumber+jitter+skew+poison\n\n",
+		base.Streams, base.FPS, base.Duration, base.Executors)
+	fmt.Println("pack          served      drop%  reconn  pills  p50      p99      tput")
+	for _, name := range catdet.PresetNames() {
+		p, err := catdet.PresetByName(name)
+		if err != nil {
+			panic(err)
+		}
+		cfg := base
+		cfg.Preset = p
+		res, err := catdet.Serve(cfg)
+		if err != nil {
+			panic(err)
+		}
+		fl := res.Fleet
+		fmt.Printf("%-12s %5d/%-5d %5.1f  %6d %6d  %6.1fms %6.1fms %5.1f\n",
+			name, fl.Served, fl.Arrived, 100*fl.DropRate, fl.Reconnects, fl.DroppedPoison,
+			1000*fl.Latency.P50, 1000*fl.Latency.P99, fl.Throughput)
+	}
+
+	fmt.Println("\nsame fleet, same faults, different worlds: crowd's 85 objects per")
+	fmt.Println("frame saturate the refinement pass and shed most of the load, while")
+	fmt.Println("highway's sparse fast traffic sails through; night trades objects for")
+	fmt.Println("sensor noise. reconn/pills count spliced reconnects and swallowed")
+	fmt.Println("corruption — chaos perturbs the offered load, never the books.")
+}

@@ -203,6 +203,27 @@ func MustProfile(name string) Profile {
 	return p
 }
 
+// ScaleNoise returns a copy of the profile with every noise channel —
+// confidence noise, localization jitter, false-positive rate and the
+// persistent per-track bias — multiplied by k. It models the same
+// trained network watching a degraded input distribution (low light,
+// rain, motion blur): the recall curve and confidence gain stay those
+// of the model, but its mistakes grow k-fold. k <= 0 or k == 1 returns
+// the profile unchanged. The Name is kept, so the deterministic
+// per-(model, sequence, frame, object) randomness draws the same
+// variates at scaled magnitudes — a noisier world, not a different
+// one.
+func (p Profile) ScaleNoise(k float64) Profile {
+	if k <= 0 || k == 1 {
+		return p
+	}
+	p.ConfNoise *= k
+	p.LocNoise *= k
+	p.FPRate *= k
+	p.TrackBias *= k
+	return p
+}
+
 // ProfileNames lists the zoo profiles in a stable order.
 func ProfileNames() []string {
 	return []string{"resnet50", "vgg16", "resnet18", "resnet10a", "resnet10b", "resnet10c", "retinanet-res50"}

@@ -25,6 +25,21 @@ func (r *Result) WriteText(w io.Writer) {
 	}
 	fmt.Fprintf(w, "fleet:       %d executors, sched %s, batch %d, queue cap %d, %s, stale %s, degrade %s\n",
 		r.Executors, r.Scheduler, r.BatchSize, r.QueueCap, r.Drop, stale, degrade)
+	if r.ReconnectPolicy != "" || r.PoisonPolicy != "" {
+		rec, poi := r.ReconnectPolicy, r.PoisonPolicy
+		if rec == "" {
+			rec = ReconnectReject
+		}
+		if poi == "" {
+			poi = PoisonError
+		}
+		fmt.Fprintf(w, "faults:      reconnect %s, poison %s (%d reconnects, %d pills dropped)\n",
+			rec, poi, r.Fleet.Reconnects, r.Fleet.DroppedPoison)
+	}
+	if ch := r.Chaos; ch != nil {
+		fmt.Fprintf(w, "chaos:       dropout %.1f/min (mean %.1fs, renumber %v), fps jitter %.2f, clock skew %.2fs, poison rate %.2f\n",
+			ch.DropoutRate, ch.DropoutMeanLen, ch.Renumber, ch.FPSJitter, ch.ClockSkew, ch.PoisonRate)
+	}
 	fl := r.Fleet
 	fmt.Fprintf(w, "served:      %d/%d frames in %d launches (throughput %.1f fps, drop rate %.1f%%, degraded %d)\n",
 		fl.Served, fl.Arrived, r.Batches, fl.Throughput, 100*fl.DropRate, fl.Degraded)

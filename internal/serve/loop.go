@@ -3,6 +3,7 @@ package serve
 import (
 	"container/heap"
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"sync"
@@ -25,17 +26,21 @@ const (
 )
 
 // event is one entry of the virtual-clock agenda. (t, kind, stream,
-// frame) is a total order — a stream never has two events of the same
-// kind for the same frame (a batch completion is keyed by its first
-// frame) — so heap order, and with it the whole simulation, is
-// deterministic. arrive is the frame's arrival stamp: normally equal to
-// t, earlier only for a frame submitted behind the clock (see
-// Server.Submit), whose latency still counts from the true arrival.
+// frame, epoch) is a total order: a stream never has two events of the
+// same kind for the same frame (a batch completion is keyed by its
+// first frame) — except across reset-session reconnects, where frame
+// indices restart and the epoch breaks the tie — so heap order, and
+// with it the whole simulation, is deterministic. arrive is the
+// frame's arrival stamp: normally equal to t, earlier only for a frame
+// submitted behind the clock (see Server.Submit), whose latency still
+// counts from the true arrival. frame is always the effective (world)
+// index, post any reconnect rebase.
 type event struct {
 	t             float64
 	kind          int
 	stream, frame int
 	arrive        float64
+	epoch         int
 }
 
 type agenda []event
@@ -51,7 +56,10 @@ func (a agenda) Less(i, j int) bool {
 	if a[i].stream != a[j].stream {
 		return a[i].stream < a[j].stream
 	}
-	return a[i].frame < a[j].frame
+	if a[i].frame != a[j].frame {
+		return a[i].frame < a[j].frame
+	}
+	return a[i].epoch < a[j].epoch
 }
 func (a agenda) Swap(i, j int) { a[i], a[j] = a[j], a[i] }
 func (a *agenda) Push(x any)   { *a = append(*a, x.(event)) }
@@ -75,6 +83,7 @@ type admitted struct {
 type streamAcc struct {
 	arrived, served            int
 	droppedQueue, droppedStale int
+	droppedPoison, reconnects  int
 	degraded                   int
 	latencies                  []float64
 }
@@ -128,11 +137,17 @@ type fleet struct {
 	// Per-stream state. presets[s] is the (possibly rate-rescaled)
 	// world preset of stream s; growers[s] incrementally extends its
 	// synthetic sequence seqs[s] (frames exist up to the largest index
-	// submitted so far).
-	presets  []video.Preset
-	sessions []core.System
-	growers  []*video.Grower
-	seqs     []*dataset.Sequence
+	// submitted so far). sessEpoch[s] is the capture-session
+	// generation sessions[s] currently holds: when a frame from a
+	// later epoch (a reset-session reconnect) reaches its step, the
+	// session is Reset first — lazily, at step time, so frames queued
+	// before the reconnect still step against the session that
+	// watched them.
+	presets   []video.Preset
+	sessions  []core.System
+	growers   []*video.Grower
+	seqs      []*dataset.Sequence
+	sessEpoch []int
 
 	agenda  agenda
 	sched   sched.Scheduler
@@ -215,10 +230,21 @@ func newFleet(cfg Config) (*fleet, error) {
 		f.presets[s] = p
 	}
 
-	factory := cfg.Spec.Factory(base.ClassList())
+	// A preset that models degraded imaging (night/low-light packs)
+	// scales every detector's noise channels; the knob composes with
+	// any scale the caller already put on the spec.
+	spec := cfg.Spec
+	if n := cfg.Preset.DetectorNoise; n > 0 && n != 1 {
+		if spec.NoiseScale <= 0 {
+			spec.NoiseScale = 1
+		}
+		spec.NoiseScale *= n
+	}
+	factory := spec.Factory(base.ClassList())
 	f.sessions = make([]core.System, cfg.Streams)
 	f.growers = make([]*video.Grower, cfg.Streams)
 	f.seqs = make([]*dataset.Sequence, cfg.Streams)
+	f.sessEpoch = make([]int, cfg.Streams)
 	f.acc = make([]streamAcc, cfg.Streams)
 	for s := 0; s < cfg.Streams; s++ {
 		sys, err := factory()
@@ -259,7 +285,7 @@ func (f *fleet) handle(e event) {
 	switch e.kind {
 	case evArrival:
 		f.acc[e.stream].arrived++
-		f.admit(f.job(e.stream, e.frame, e.arrive))
+		f.admit(f.job(e.stream, e.frame, e.arrive, e.epoch))
 	case evCompletion:
 		f.busy--
 	}
@@ -292,7 +318,7 @@ func (f *fleet) admit(j sched.Job) {
 		f.acc[victim.Stream].droppedQueue++
 		f.emit(Event{
 			Kind: EventDroppedQueue, Stream: victim.Stream, Frame: victim.Frame,
-			Arrive: victim.Arrive, Time: f.now,
+			Arrive: victim.Arrive, Time: f.now, Epoch: victim.Epoch,
 		})
 	}
 	if d := f.sched.Len(); d > f.maxDepth {
@@ -343,7 +369,7 @@ func (f *fleet) dispatch() {
 		}
 		f.batches++
 		head := batch[0].job
-		f.agenda.add(event{t: f.now + service, kind: evCompletion, stream: head.Stream, frame: head.Frame})
+		f.agenda.add(event{t: f.now + service, kind: evCompletion, stream: head.Stream, frame: head.Frame, epoch: head.Epoch})
 		for i := range batch {
 			adm := &batch[i]
 			a := &f.acc[adm.job.Stream]
@@ -358,6 +384,7 @@ func (f *fleet) dispatch() {
 				Kind: EventServed, Stream: adm.job.Stream, Frame: adm.job.Frame,
 				Arrive: adm.job.Arrive, Time: f.now + service,
 				Latency: lat, Degraded: adm.degraded, Batch: f.batches,
+				Epoch: adm.job.Epoch,
 			})
 		}
 	}
@@ -377,7 +404,7 @@ func (f *fleet) gather() {
 			f.acc[j.Stream].droppedStale++
 			f.emit(Event{
 				Kind: EventDroppedStale, Stream: j.Stream, Frame: j.Frame,
-				Arrive: j.Arrive, Time: f.now,
+				Arrive: j.Arrive, Time: f.now, Epoch: j.Epoch,
 			})
 			continue
 		}
@@ -496,6 +523,15 @@ func (f *fleet) step(j sched.Job) core.FrameOutput {
 // the price switches to the proposal-only launch — see
 // Config.DegradeDepth for what that does and does not model.
 func (f *fleet) stepAdmitted(adm *admitted) {
+	if s := adm.job.Stream; adm.job.Epoch != f.sessEpoch[s] {
+		// The stream reconnected under reset-session between this
+		// frame's epoch and the session's: start the new capture
+		// session here, in per-stream step order, so every frame steps
+		// against the session generation that watched it. Safe under
+		// the parallel fan-out — a stream's frames step on one worker.
+		f.sessions[s].Reset(f.seqs[s])
+		f.sessEpoch[s] = adm.job.Epoch
+	}
 	out := f.step(adm.job)
 	seq := f.seqs[adm.job.Stream]
 	if f.cfg.BatchSize <= 1 {
@@ -542,10 +578,11 @@ func (f *fleet) priceBatch(batch []admitted) float64 {
 }
 
 // job builds the scheduler job for an arriving frame: the deadline is
-// arrive + MaxStaleness (arrive itself when staleness is off), and the
-// class is the stream's configured priority.
-func (f *fleet) job(stream, frame int, arrive float64) sched.Job {
-	j := sched.Job{Stream: stream, Frame: frame, Arrive: arrive, Deadline: arrive}
+// arrive + MaxStaleness (arrive itself when staleness is off), the
+// class is the stream's configured priority, and the epoch its
+// capture-session generation.
+func (f *fleet) job(stream, frame int, arrive float64, epoch int) sched.Job {
+	j := sched.Job{Stream: stream, Frame: frame, Arrive: arrive, Deadline: arrive, Epoch: epoch}
 	if f.cfg.MaxStaleness > 0 {
 		j.Deadline += f.cfg.MaxStaleness
 	}
@@ -553,6 +590,34 @@ func (f *fleet) job(stream, frame int, arrive float64) sched.Job {
 		j.Class = f.cfg.Priorities[stream]
 	}
 	return j
+}
+
+// dropPoison charges a poison pill to its stream and sinks it. Pills
+// deliberately leave the virtual clock, the causality state and the
+// session untouched, so a run's books with and without a pill are
+// identical — the isolation the PoisonDrop policy promises. A
+// non-finite arrival stamp is re-stamped to the current clock for the
+// sink (NaN would break JSON trace encoders downstream).
+func (f *fleet) dropPoison(stream, frame int, arrive float64, epoch int) {
+	f.acc[stream].droppedPoison++
+	if math.IsNaN(arrive) || math.IsInf(arrive, 0) {
+		arrive = f.now
+	}
+	f.emit(Event{
+		Kind: EventDroppedPoison, Stream: stream, Frame: frame,
+		Arrive: arrive, Time: f.now, Epoch: epoch,
+	})
+}
+
+// noteReconnect charges an accepted camera reconnect to its stream and
+// sinks it at the decision instant (the current clock — the
+// reconnecting frame's own arrival, possibly later, follows it).
+func (f *fleet) noteReconnect(stream, eff int, arrive float64, epoch int) {
+	f.acc[stream].reconnects++
+	f.emit(Event{
+		Kind: EventReconnect, Stream: stream, Frame: eff,
+		Arrive: arrive, Time: f.now, Epoch: epoch,
+	})
 }
 
 // stats folds the live counters into a snapshot. Totals count since
@@ -571,6 +636,8 @@ func (f *fleet) stats() Stats {
 		st.Served += a.served
 		st.DroppedQueue += a.droppedQueue
 		st.DroppedStale += a.droppedStale
+		st.DroppedPoison += a.droppedPoison
+		st.Reconnects += a.reconnects
 		st.Degraded += a.degraded
 	}
 	if st.Now > 0 {
@@ -609,6 +676,22 @@ func (f *fleet) result() *Result {
 		MaxQueueDepth: f.maxDepth,
 		MaxService:    f.maxService,
 	}
+	// Echo the fault-tolerance identity only when it departs from the
+	// strict defaults, keeping fault-free results byte-identical to
+	// their historical encoding.
+	if cfg.Reconnect != ReconnectReject {
+		r.ReconnectPolicy = cfg.Reconnect
+	}
+	if cfg.Poison != PoisonError {
+		r.PoisonPolicy = cfg.Poison
+	}
+	if cfg.MaxFrame != DefaultMaxFrame {
+		r.MaxFrame = cfg.MaxFrame
+	}
+	if cfg.Chaos.enabled() {
+		ch := cfg.Chaos
+		r.Chaos = &ch
+	}
 	if len(f.sessions) > 0 {
 		r.System = f.sessions[0].Name()
 	}
@@ -624,14 +707,16 @@ func (f *fleet) result() *Result {
 	for s := range f.acc {
 		a := &f.acc[s]
 		row := StreamStats{
-			ID:           f.seqs[s].ID,
-			Arrived:      a.arrived,
-			Served:       a.served,
-			DroppedQueue: a.droppedQueue,
-			DroppedStale: a.droppedStale,
-			Degraded:     a.degraded,
-			Throughput:   rate(a.served),
-			Latency:      Summarize(a.latencies),
+			ID:            f.seqs[s].ID,
+			Arrived:       a.arrived,
+			Served:        a.served,
+			DroppedQueue:  a.droppedQueue,
+			DroppedStale:  a.droppedStale,
+			DroppedPoison: a.droppedPoison,
+			Reconnects:    a.reconnects,
+			Degraded:      a.degraded,
+			Throughput:    rate(a.served),
+			Latency:       Summarize(a.latencies),
 		}
 		if a.arrived > 0 {
 			row.DropRate = float64(a.droppedQueue+a.droppedStale) / float64(a.arrived)
@@ -641,6 +726,8 @@ func (f *fleet) result() *Result {
 		fleetRow.Served += a.served
 		fleetRow.DroppedQueue += a.droppedQueue
 		fleetRow.DroppedStale += a.droppedStale
+		fleetRow.DroppedPoison += a.droppedPoison
+		fleetRow.Reconnects += a.reconnects
 		fleetRow.Degraded += a.degraded
 		all = append(all, a.latencies...)
 	}
@@ -685,6 +772,8 @@ func (f *fleet) perClass(rate func(int) float64) []StreamStats {
 		row.Served += a.served
 		row.DroppedQueue += a.droppedQueue
 		row.DroppedStale += a.droppedStale
+		row.DroppedPoison += a.droppedPoison
+		row.Reconnects += a.reconnects
 		row.Degraded += a.degraded
 		lats[c] = append(lats[c], a.latencies...)
 	}

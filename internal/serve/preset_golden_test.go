@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/video"
+)
+
+// presetPacks are the scenario packs the golden harness pins — the
+// four new packs plus the night pack's elevated-noise sibling set.
+var presetPacks = []string{"crowd", "highway", "drone", "night", "sports"}
+
+// presetGoldenConfig is the one chaotic serving scenario every pack is
+// pinned under: a camera fleet with dropouts and restarted numbering
+// (resumed server-side), wandering encoder rates, skewed clocks and
+// in-transit corruption — every fault channel and both relaxed
+// policies on at once, so the goldens cover the full chaos surface.
+func presetGoldenConfig(p video.Preset) Config {
+	return Config{
+		Spec: sim.SystemSpec{
+			Kind: sim.CaTDet, Proposal: "resnet10a", Refinement: "resnet50",
+			Cfg: core.DefaultConfig(),
+		},
+		Preset:       p,
+		Seed:         7,
+		Streams:      3,
+		FPS:          10,
+		Duration:     2.5,
+		Executors:    1,
+		QueueCap:     5,
+		MaxStaleness: 0.35,
+		Reconnect:    ReconnectResume,
+		Poison:       PoisonDrop,
+		Chaos: Chaos{
+			DropoutRate: 30, DropoutMeanLen: 0.6, Renumber: true,
+			FPSJitter: 0.15, ClockSkew: 0.08, PoisonRate: 0.04,
+		},
+	}
+}
+
+// TestGoldenPresets pins the full chaotic serving output of every
+// scenario pack byte-for-byte against testdata/golden_<preset>.json.
+// Run with -update to rewrite after an intentional change; anything
+// else that moves these bytes is a regression in a pack's world
+// statistics, the chaos transform, or the reconnect/poison engine.
+func TestGoldenPresets(t *testing.T) {
+	for _, name := range presetPacks {
+		t.Run(name, func(t *testing.T) {
+			p, err := video.PresetByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := mustRun(t, presetGoldenConfig(p))
+			got, err := json.MarshalIndent(r, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+
+			path := filepath.Join("testdata", fmt.Sprintf("golden_%s.json", name))
+			if *update {
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("preset %s output drifted from %s (run with -update if intentional)\ngot:\n%s", name, path, got)
+			}
+			// The chaos channels must have actually fired in the pinned
+			// scenario, or the goldens silently stop covering them.
+			if r.Fleet.DroppedPoison == 0 {
+				t.Errorf("preset %s golden has no poison drops — the pinned scenario no longer exercises PoisonDrop", name)
+			}
+			if r.Fleet.Reconnects == 0 {
+				t.Errorf("preset %s golden has no reconnects — the pinned scenario no longer exercises resume-with-gap", name)
+			}
+		})
+	}
+}
+
+// TestPresetsStatisticallyDistinct is the cross-check behind the packs'
+// reason to exist: no two packs (the new five plus the original KITTI
+// world) may be statistically indistinguishable. Every pair must
+// differ by at least 25% in mean object count, mean box height, or
+// mean apparent speed — the three axes the serving metrics key on.
+func TestPresetsStatisticallyDistinct(t *testing.T) {
+	names := append([]string{"kitti"}, presetPacks...)
+	stats := make(map[string]video.WorldStats, len(names))
+	for _, name := range names {
+		p, err := video.PresetByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats[name] = video.Measure(p, 1, 120)
+		t.Logf("%-8s %.2f obj/frame, %.1f px height, %.1f px/s", name,
+			stats[name].MeanObjects, stats[name].MeanHeight, stats[name].MeanSpeed)
+	}
+	relDiff := func(a, b float64) float64 {
+		if m := math.Max(math.Abs(a), math.Abs(b)); m > 0 {
+			return math.Abs(a-b) / m
+		}
+		return 0
+	}
+	const threshold = 0.25
+	for i, a := range names {
+		for _, b := range names[i+1:] {
+			sa, sb := stats[a], stats[b]
+			if relDiff(sa.MeanObjects, sb.MeanObjects) < threshold &&
+				relDiff(sa.MeanHeight, sb.MeanHeight) < threshold &&
+				relDiff(sa.MeanSpeed, sb.MeanSpeed) < threshold {
+				t.Errorf("presets %q and %q are statistically indistinguishable (<%.0f%% apart on every axis):\n  %+v\n  %+v",
+					a, b, 100*threshold, sa, sb)
+			}
+		}
+	}
+}
+
+// TestNightNoiseReachesServing pins the plumbing from the night pack's
+// DetectorNoise knob through the serving fleet: the same scenario on
+// the night world with the knob zeroed out books different detections
+// (more noise means different service times and books), while the
+// timing-independent identity fields stay equal.
+func TestNightNoiseReachesServing(t *testing.T) {
+	night, err := video.PresetByName("night")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	cfg.Preset = night
+	cfg.Duration = 3
+	noisy := mustRun(t, cfg)
+
+	calm := night
+	calm.DetectorNoise = 0
+	cfg.Preset = calm
+	clean := mustRun(t, cfg)
+
+	if noisy.Fleet.Arrived != clean.Fleet.Arrived {
+		t.Fatalf("DetectorNoise changed the offered load: %d vs %d arrivals",
+			noisy.Fleet.Arrived, clean.Fleet.Arrived)
+	}
+	if bytes.Equal(marshal(t, noisy), marshal(t, clean)) {
+		t.Error("zeroing night DetectorNoise left the serving books identical — the noise knob never reached the detectors")
+	}
+}

@@ -52,6 +52,12 @@ type Job struct {
 	// Class is the stream's priority class (higher serves first).
 	// Only Priority looks at it.
 	Class int
+	// Epoch is the stream's capture-session generation: 0 until the
+	// stream reconnects under the reset-session policy, then +1 per
+	// reset. No policy orders by it — it rides along so the engine can
+	// reset the stream's detection session at the right point of the
+	// per-stream FIFO order.
+	Epoch int
 }
 
 // Config carries the queue shape every policy needs.

@@ -160,6 +160,31 @@ type Config struct {
 	// start it (the result would be too old to act on).
 	MaxStaleness float64
 
+	// Reconnect selects how Submit treats a per-stream frame-index
+	// regression — a camera that dropped out and came back with
+	// restarted numbering (default ReconnectReject, the strict
+	// historical contract; see ReconnectPolicy for the alternatives).
+	Reconnect ReconnectPolicy
+
+	// Poison selects how Submit treats a corrupt submission — a
+	// non-finite arrival time, a negative frame index, or a frame
+	// index beyond MaxFrame (default PoisonError; PoisonDrop swallows
+	// pills without touching the stream's session or stats).
+	Poison PoisonPolicy
+
+	// MaxFrame bounds the frame index Submit accepts; larger indices
+	// are poison (the synthetic world grows lazily to the largest
+	// index submitted, so an unbounded index is an unbounded
+	// allocation). 0 means DefaultMaxFrame.
+	MaxFrame int
+
+	// Chaos injects operational faults — camera dropouts, variable-fps
+	// clients, clock skew, poison pills — into the preset arrival
+	// schedule replayed by Run/ScheduleSource. The zero value is off.
+	// Chaos is a pure function of (Config, Seed): a chaotic scenario
+	// is exactly as deterministic as a clean one.
+	Chaos Chaos
+
 	// DegradeDepth, when positive, degrades service to the proposal
 	// network only (the refinement pass is shed) whenever at least
 	// this many frames are still waiting behind the one being
@@ -227,6 +252,18 @@ func (c Config) withDefaults() Config {
 	if c.Drop == "" {
 		c.Drop = DropOldest
 	}
+	if c.Reconnect == "" {
+		c.Reconnect = ReconnectReject
+	}
+	if c.Poison == "" {
+		c.Poison = PoisonError
+	}
+	if c.MaxFrame == 0 {
+		c.MaxFrame = DefaultMaxFrame
+	}
+	if c.Chaos.DropoutRate > 0 && c.Chaos.DropoutMeanLen <= 0 {
+		c.Chaos.DropoutMeanLen = 2
+	}
 	if c.StatsWindow <= 0 {
 		c.StatsWindow = 256
 	}
@@ -287,6 +324,41 @@ func (c Config) validate() error {
 	if c.DegradeDepth < 0 {
 		return fail("DegradeDepth", "must be non-negative, got %v", c.DegradeDepth)
 	}
+	switch c.Reconnect {
+	case ReconnectReject, ReconnectResume, ReconnectReset:
+	default:
+		return fail("Reconnect", "unknown reconnect policy %q", c.Reconnect)
+	}
+	switch c.Poison {
+	case PoisonError, PoisonDrop:
+	default:
+		return fail("Poison", "unknown poison policy %q", c.Poison)
+	}
+	if c.MaxFrame <= 0 {
+		return fail("MaxFrame", "must be positive, got %d", c.MaxFrame)
+	}
+	if c.Chaos.DropoutRate < 0 {
+		return fail("Chaos.DropoutRate", "must be non-negative, got %v", c.Chaos.DropoutRate)
+	}
+	if c.Chaos.DropoutMeanLen < 0 {
+		return fail("Chaos.DropoutMeanLen", "must be non-negative, got %v", c.Chaos.DropoutMeanLen)
+	}
+	if c.Chaos.FPSJitter < 0 || c.Chaos.FPSJitter > 2 {
+		return fail("Chaos.FPSJitter", "outside [0,2], got %v", c.Chaos.FPSJitter)
+	}
+	if c.Chaos.ClockSkew < 0 {
+		return fail("Chaos.ClockSkew", "must be non-negative, got %v", c.Chaos.ClockSkew)
+	}
+	if c.Chaos.PoisonRate < 0 || c.Chaos.PoisonRate > 1 {
+		return fail("Chaos.PoisonRate", "outside [0,1], got %v", c.Chaos.PoisonRate)
+	}
+	if c.Chaos.Renumber && c.Reconnect == ReconnectReject {
+		return fail("Chaos.Renumber", "restarted frame numbering needs Reconnect %q or %q, not %q",
+			ReconnectResume, ReconnectReset, c.Reconnect)
+	}
+	if c.Chaos.PoisonRate > 0 && c.Poison != PoisonDrop {
+		return fail("Chaos.PoisonRate", "injected pills need Poison %q, not %q", PoisonDrop, c.Poison)
+	}
 	return nil
 }
 
@@ -306,6 +378,14 @@ type StreamStats struct {
 	// MaxStaleness at admission.
 	DroppedQueue int `json:"dropped_queue"`
 	DroppedStale int `json:"dropped_stale"`
+	// DroppedPoison counts corrupt submissions swallowed under
+	// PoisonDrop; pills never reach the queue, so they are outside
+	// Arrived and DropRate. Reconnects counts accepted camera
+	// reconnects (frame-index regressions) under a non-rejecting
+	// Reconnect policy. Both are omitted when zero, which is always
+	// the case for a fault-free scenario.
+	DroppedPoison int `json:"dropped_poison,omitempty"`
+	Reconnects    int `json:"reconnects,omitempty"`
 	// Degraded counts served frames that ran proposal-only.
 	Degraded int `json:"degraded"`
 	// Throughput is Served divided by the scenario makespan
@@ -343,6 +423,15 @@ type Result struct {
 	Drop         DropKind    `json:"drop_policy"`
 	MaxStaleness float64     `json:"max_staleness_s"`
 	DegradeDepth int         `json:"degrade_depth"`
+
+	// Fault-tolerance identity, echoed only when it departs from the
+	// strict defaults (so fault-free results keep their historical
+	// encoding byte for byte): the reconnect and poison policies, a
+	// non-default MaxFrame, and the chaos channels when any is on.
+	ReconnectPolicy ReconnectPolicy `json:"reconnect_policy,omitempty"`
+	PoisonPolicy    PoisonPolicy    `json:"poison_policy,omitempty"`
+	MaxFrame        int             `json:"max_frame,omitempty"`
+	Chaos           *Chaos          `json:"chaos,omitempty"`
 
 	// Fleet aggregates every stream; PerStream is indexed by stream.
 	Fleet     StreamStats   `json:"fleet"`

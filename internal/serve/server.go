@@ -15,7 +15,7 @@ var ErrClosed = errors.New("serve: server closed")
 // EventKind classifies a per-frame serving outcome.
 type EventKind string
 
-// The three frame outcomes a Sink observes.
+// The frame outcomes and stream incidents a Sink observes.
 const (
 	// EventServed fires when a frame is dispatched to an executor; its
 	// Time is the completion instant and Latency the end-to-end
@@ -28,6 +28,18 @@ const (
 	// EventDroppedStale fires when a frame is skipped at admission for
 	// exceeding MaxStaleness.
 	EventDroppedStale EventKind = "dropped-stale"
+	// EventDroppedPoison fires when a corrupt submission is swallowed
+	// under PoisonDrop: Frame is the wire index as submitted (possibly
+	// negative), Arrive the submitted stamp (re-stamped to the current
+	// clock when non-finite), Time the decision instant. Pills never
+	// touch the clock or the stream's session.
+	EventDroppedPoison EventKind = "dropped-poison"
+	// EventReconnect fires when a frame-index regression is accepted
+	// under a non-rejecting Reconnect policy, before the reconnecting
+	// frame's own arrival: Frame is the effective (world) index the
+	// reconnecting frame was mapped to, and Epoch the session
+	// generation it will be served in.
+	EventReconnect EventKind = "reconnect"
 )
 
 // Event is one per-frame serving outcome, reported to the configured
@@ -50,6 +62,10 @@ type Event struct {
 	// Batch is the 1-based dispatch ordinal of a served frame; frames
 	// fused into one launch share it.
 	Batch int `json:"batch,omitempty"`
+	// Epoch is the stream's capture-session generation the frame
+	// belongs to: 0 until the stream reconnects under reset-session,
+	// then +1 per reset (Frame indices restart within an epoch).
+	Epoch int `json:"epoch,omitempty"`
 }
 
 // Sink receives per-frame events. Implementations run synchronously on
@@ -107,27 +123,36 @@ func (s *sliceSource) Next() (Arrival, bool) {
 
 // ScheduleSource precomputes the config's preset arrival schedule —
 // every stream's frames within Duration, on the configured arrival
-// process — and replays it in global virtual-time order. It is the
-// source Run drives the Server with; the schedule depends only on
-// (seed, streams, rates, arrival process, duration), never on the
-// fleet shape, so the same config always offers the same load.
+// process, perturbed by the configured Chaos — and replays it in
+// global virtual-time order. It is the source Run drives the Server
+// with; the schedule depends only on (seed, streams, rates, arrival
+// process, duration, chaos), never on the fleet shape, so the same
+// config always offers the same load.
+//
+// The stable sort keys on (At, Stream) only: within a stream, per-
+// stream submission order is the generation order, which chaos
+// renumbering may take backwards through the wire frame indices — the
+// very order the Reconnect policies exist to interpret. Fault-free
+// schedules have unique (At, Stream) pairs and increasing frame order
+// per stream, so their replay is unchanged byte for byte.
 func ScheduleSource(cfg Config) Source {
 	cfg = cfg.withDefaults()
 	var arrivals []Arrival
 	for s, ts := range arrivalTimes(cfg) {
+		if cfg.Chaos.enabled() {
+			arrivals = append(arrivals, chaosStream(cfg, s, ts)...)
+			continue
+		}
 		for k, t := range ts {
 			arrivals = append(arrivals, Arrival{Stream: s, Frame: k, At: t})
 		}
 	}
-	sort.Slice(arrivals, func(i, j int) bool {
+	sort.SliceStable(arrivals, func(i, j int) bool {
 		a, b := arrivals[i], arrivals[j]
 		if a.At != b.At {
 			return a.At < b.At
 		}
-		if a.Stream != b.Stream {
-			return a.Stream < b.Stream
-		}
-		return a.Frame < b.Frame
+		return a.Stream < b.Stream
 	})
 	return &sliceSource{arrivals: arrivals}
 }
@@ -153,10 +178,17 @@ func ScheduleSource(cfg Config) Source {
 // byte-level determinism is only guaranteed for time-ordered
 // submission.
 type Server struct {
-	mu         sync.Mutex
-	f          *fleet // owns the normalized Config the engine runs
+	mu sync.Mutex
+	f  *fleet // owns the normalized Config the engine runs
+	// Per-stream causality state. lastFrame is the last *effective*
+	// (world) frame index admitted; lastArrive the last accepted
+	// arrival stamp. rebase maps a stream's wire indices to effective
+	// ones (eff = wire + rebase; nonzero only after a resume-with-gap
+	// reconnect) and epoch counts its reset-session reconnects.
 	lastFrame  []int
 	lastArrive []float64
+	rebase     []int
+	epoch      []int
 	closed     bool
 }
 
@@ -177,6 +209,8 @@ func New(cfg Config) (*Server, error) {
 		f:          f,
 		lastFrame:  make([]int, cfg.Streams),
 		lastArrive: make([]float64, cfg.Streams),
+		rebase:     make([]int, cfg.Streams),
+		epoch:      make([]int, cfg.Streams),
 	}
 	for i := range s.lastFrame {
 		s.lastFrame[i] = -1
@@ -189,35 +223,98 @@ func New(cfg Config) (*Server, error) {
 func (s *Server) Config() Config { return s.f.cfg }
 
 // Submit offers one frame of a stream to the fleet at virtual time
-// arriveAt. frame indexes the stream's synthetic world (grown on
-// demand, so memory scales with the largest index submitted); within a
-// stream, frame indices must be strictly increasing and arrival times
-// nondecreasing — that per-stream order is what keeps the tracker
-// sessions causal. The engine advances to arriveAt before returning.
+// arriveAt. frame is the stream's wire index: under the default
+// policies it directly indexes the stream's synthetic world (grown on
+// demand, so memory scales with the largest index submitted — bounded
+// by Config.MaxFrame) and must be strictly increasing per stream with
+// nondecreasing arrival times, the per-stream order that keeps the
+// tracker sessions causal.
+//
+// Config.Poison and Config.Reconnect relax the strict contract for
+// faulty inputs. A poison pill — non-finite arriveAt, negative frame,
+// or frame beyond MaxFrame — errors under PoisonError and is counted,
+// sunk and otherwise ignored under PoisonDrop. A frame-index
+// regression errors under ReconnectReject and is accepted as a camera
+// reconnect otherwise: ReconnectResume rebases the wire index so the
+// stream's world continues where it left off, ReconnectReset starts a
+// new session epoch and takes the wire index literally. Under a
+// non-rejecting Reconnect policy a backwards per-stream arrival stamp
+// (a reconnecting camera's skewed clock) is re-stamped to the
+// stream's last accepted stamp instead of erroring.
+//
+// The engine advances to arriveAt before returning (poison pills
+// excepted — they leave the clock untouched).
 func (s *Server) Submit(stream, frame int, arriveAt float64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return ErrClosed
 	}
-	if stream < 0 || stream >= s.f.cfg.Streams {
-		return fmt.Errorf("serve: Submit: stream %d out of range [0,%d)", stream, s.f.cfg.Streams)
+	cfg := &s.f.cfg
+	if stream < 0 || stream >= cfg.Streams {
+		return fmt.Errorf("serve: Submit: stream %d out of range [0,%d)", stream, cfg.Streams)
 	}
-	if math.IsNaN(arriveAt) || math.IsInf(arriveAt, 0) {
+
+	// Poison classification comes first: a pill carries no usable
+	// frame, so no policy below should see it.
+	switch {
+	case math.IsNaN(arriveAt) || math.IsInf(arriveAt, 0):
 		// A non-finite time would defeat the monotonicity checks below
 		// (NaN compares false) and poison the clock's time integrals.
+		if cfg.Poison == PoisonDrop {
+			s.f.dropPoison(stream, frame, arriveAt, s.epoch[stream])
+			return nil
+		}
 		return fmt.Errorf("serve: Submit: stream %d: arrival %v is not a finite time", stream, arriveAt)
+	case frame < 0 || frame > cfg.MaxFrame:
+		if cfg.Poison == PoisonDrop {
+			s.f.dropPoison(stream, frame, arriveAt, s.epoch[stream])
+			return nil
+		}
+		return fmt.Errorf("serve: Submit: stream %d: frame %d outside [0,%d] (MaxFrame bounds the synthetic world)",
+			stream, frame, cfg.MaxFrame)
 	}
-	if frame <= s.lastFrame[stream] {
-		return fmt.Errorf("serve: Submit: stream %d: frame %d not after %d (frames must be strictly increasing per stream)",
-			stream, frame, s.lastFrame[stream])
+
+	// Map the wire index to the effective (world) index and detect the
+	// reconnect signature. Nothing is committed until the frame is
+	// known to be servable, so a pill-sized rebase result cannot
+	// corrupt the stream's causality state.
+	eff := frame + s.rebase[stream]
+	epoch := s.epoch[stream]
+	reconnect := eff <= s.lastFrame[stream]
+	if reconnect {
+		switch cfg.Reconnect {
+		case ReconnectResume:
+			// Same camera, restarted numbering: continue the world
+			// where the outage interrupted it.
+			eff = s.lastFrame[stream] + 1
+		case ReconnectReset:
+			// New capture session: take the wire index literally and
+			// replay the world from there under a fresh session epoch.
+			eff = frame
+			epoch++
+		default:
+			return fmt.Errorf("serve: Submit: stream %d: frame %d not after %d (frames must be strictly increasing per stream)",
+				stream, frame, s.lastFrame[stream])
+		}
+		if eff > cfg.MaxFrame {
+			if cfg.Poison == PoisonDrop {
+				s.f.dropPoison(stream, frame, arriveAt, s.epoch[stream])
+				return nil
+			}
+			return fmt.Errorf("serve: Submit: stream %d: reconnect frame %d maps past MaxFrame %d", stream, frame, cfg.MaxFrame)
+		}
 	}
 	if arriveAt < s.lastArrive[stream] {
-		return fmt.Errorf("serve: Submit: stream %d: arrival %v before %v (arrival times must be nondecreasing per stream)",
-			stream, arriveAt, s.lastArrive[stream])
+		if cfg.Reconnect == ReconnectReject {
+			return fmt.Errorf("serve: Submit: stream %d: arrival %v before %v (arrival times must be nondecreasing per stream)",
+				stream, arriveAt, s.lastArrive[stream])
+		}
+		// Reconnecting cameras come back with skewed clocks; keep the
+		// stream's timeline monotone instead of failing the feed.
+		arriveAt = s.lastArrive[stream]
 	}
-	s.lastFrame[stream], s.lastArrive[stream] = frame, arriveAt
-	s.f.ensureFrame(stream, frame)
+
 	t := arriveAt
 	if t < s.f.now {
 		// A concurrent submitter on another stream already advanced the
@@ -225,7 +322,14 @@ func (s *Server) Submit(stream, frame int, arriveAt float64) error {
 		// arrival stamp for latency and staleness.
 		t = s.f.now
 	}
-	s.f.agenda.add(event{t: t, kind: evArrival, stream: stream, frame: frame, arrive: arriveAt})
+	if reconnect {
+		s.rebase[stream] = eff - frame
+		s.epoch[stream] = epoch
+		s.f.noteReconnect(stream, eff, arriveAt, epoch)
+	}
+	s.lastFrame[stream], s.lastArrive[stream] = eff, arriveAt
+	s.f.ensureFrame(stream, eff)
+	s.f.agenda.add(event{t: t, kind: evArrival, stream: stream, frame: eff, arrive: arriveAt, epoch: epoch})
 	s.f.advanceTo(t)
 	return nil
 }

@@ -361,6 +361,16 @@ func TestValidateFieldPaths(t *testing.T) {
 		{func(c *Config) { c.Drop = "drop-random" }, "serve: Drop: unknown drop policy"},
 		{func(c *Config) { c.MaxStaleness = -1 }, "serve: MaxStaleness: must be non-negative"},
 		{func(c *Config) { c.DegradeDepth = -1 }, "serve: DegradeDepth: must be non-negative"},
+		{func(c *Config) { c.Reconnect = "retry" }, "serve: Reconnect: unknown reconnect policy"},
+		{func(c *Config) { c.Poison = "quarantine" }, "serve: Poison: unknown poison policy"},
+		{func(c *Config) { c.MaxFrame = -5 }, "serve: MaxFrame: must be positive"},
+		{func(c *Config) { c.Chaos.DropoutRate = -1 }, "serve: Chaos.DropoutRate: must be non-negative"},
+		{func(c *Config) { c.Chaos.DropoutMeanLen = -1 }, "serve: Chaos.DropoutMeanLen: must be non-negative"},
+		{func(c *Config) { c.Chaos.FPSJitter = 3 }, "serve: Chaos.FPSJitter: outside [0,2]"},
+		{func(c *Config) { c.Chaos.ClockSkew = -0.1 }, "serve: Chaos.ClockSkew: must be non-negative"},
+		{func(c *Config) { c.Chaos.PoisonRate = 1.5 }, "serve: Chaos.PoisonRate: outside [0,1]"},
+		{func(c *Config) { c.Chaos.Renumber = true }, "serve: Chaos.Renumber: restarted frame numbering needs Reconnect"},
+		{func(c *Config) { c.Chaos.PoisonRate = 0.1 }, "serve: Chaos.PoisonRate: injected pills need Poison"},
 	}
 	for _, tc := range cases {
 		cfg := testConfig()

@@ -56,11 +56,16 @@ type Stats struct {
 	// played so far (the makespan so far).
 	Now float64 `json:"now_s"`
 	// Cumulative frame counters, summed over every stream.
-	Arrived      int `json:"arrived"`
-	Served       int `json:"served"`
-	DroppedQueue int `json:"dropped_queue"`
-	DroppedStale int `json:"dropped_stale"`
-	Degraded     int `json:"degraded"`
+	// DroppedPoison and Reconnects count fault-tolerance incidents
+	// (PoisonDrop swallows, accepted camera reconnects); both stay 0
+	// under the strict default policies.
+	Arrived       int `json:"arrived"`
+	Served        int `json:"served"`
+	DroppedQueue  int `json:"dropped_queue"`
+	DroppedStale  int `json:"dropped_stale"`
+	DroppedPoison int `json:"dropped_poison,omitempty"`
+	Reconnects    int `json:"reconnects,omitempty"`
+	Degraded      int `json:"degraded"`
 	// Instantaneous fleet state: frames waiting in the scheduler and
 	// executors currently serving a launch.
 	QueueDepth    int `json:"queue_depth"`

@@ -25,6 +25,13 @@ type SystemSpec struct {
 	Proposal   string // zoo model name; unused for Single
 	Refinement string // zoo model name (the only model for Single)
 	Cfg        core.Config
+
+	// NoiseScale, when positive and not 1, multiplies every detector's
+	// noise channels via detector.Profile.ScaleNoise: the same models
+	// watching a degraded input distribution. The serving layer sets
+	// it from video.Preset.DetectorNoise (night/low-light packs); 0
+	// means the calibrated profiles.
+	NoiseScale float64
 }
 
 // Build constructs the system, wiring the dataset's class vocabulary
@@ -36,6 +43,7 @@ func (s SystemSpec) Build(classes []dataset.Class) (core.System, error) {
 			return nil, err
 		}
 		d.Classes = classes
+		d.Profile = d.Profile.ScaleNoise(s.NoiseScale)
 		return d, nil
 	}
 	ref, err := newDet(s.Refinement)

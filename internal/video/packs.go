@@ -1,0 +1,227 @@
+package video
+
+import "repro/internal/dataset"
+
+// Scenario preset packs: synthetic worlds with deliberately different
+// statistics from the KITTI/CityPersons family, so the serving layer's
+// backpressure, degrade and scheduling policies are exercised under
+// genuinely heterogeneous workloads instead of one. Each pack is a
+// plain Preset — deterministic in (preset, seed, sequence) like every
+// other world — and each is calibrated to be statistically
+// distinguishable from the rest in at least one of mean object count,
+// mean object size and mean object speed (pinned by the golden-metrics
+// cross-check in internal/serve).
+
+// CrowdSurgePreset models a dense pedestrian surge — a station
+// concourse or stadium exit. Many small-to-medium people at shuffling
+// speeds with long dwell times and constant mutual occlusion; the
+// camera is near-static. The load profile is the opposite of KITTI:
+// per-frame object count is an order of magnitude higher, so proposal
+// counts, region merging and NMS all run hot.
+func CrowdSurgePreset() Preset {
+	return Preset{
+		Name:         "crowd-surge",
+		Width:        1920,
+		Height:       1080,
+		FPS:          25,
+		NumSequences: 24,
+		FramesPerSeq: 250,
+		LabelEvery:   1,
+		EgoDrift:     0.4,
+		HorizonY:     0.42,
+		Classes: []ClassSpec{
+			{
+				Class:            dataset.Pedestrian,
+				SpawnRate:        0.55,
+				MinWidth:         12,
+				MaxWidth:         70,
+				Aspect:           2.4,
+				AspectJitter:     0.25,
+				SpeedStd:         0.8,
+				GrowthMean:       0.004,
+				GrowthStd:        0.004,
+				MeanLife:         160,
+				OcclusionRate:    0.09,
+				OcclusionMeanLen: 14,
+				HeavyOcclusionP:  0.6,
+			},
+		},
+	}
+}
+
+// HighwayPreset models a roadside highway camera: sparse but fast
+// traffic, objects small (distant, foreshortened) and short-lived —
+// a car crosses the field of view in a second or two. High closing
+// speeds stress the tracker's motion model and make stale frames
+// worthless quickly.
+func HighwayPreset() Preset {
+	return Preset{
+		Name:         "highway-speed",
+		Width:        1280,
+		Height:       720,
+		FPS:          30,
+		NumSequences: 24,
+		FramesPerSeq: 300,
+		LabelEvery:   1,
+		EgoDrift:     3.5,
+		HorizonY:     0.40,
+		Classes: []ClassSpec{
+			{
+				Class:            dataset.Car,
+				SpawnRate:        0.09,
+				MinWidth:         8,
+				MaxWidth:         60,
+				Aspect:           0.60,
+				AspectJitter:     0.08,
+				SpeedStd:         6.5,
+				GrowthMean:       0.030,
+				GrowthStd:        0.015,
+				MeanLife:         38,
+				OcclusionRate:    0.015,
+				OcclusionMeanLen: 4,
+				HeavyOcclusionP:  0.3,
+			},
+		},
+	}
+}
+
+// DronePreset models a top-down drone survey at fixed altitude: tiny
+// objects of near-constant size (no approach growth), negligible
+// occlusion (nothing overlaps from above), smooth nadir motion. Both
+// classes appear; everything sits near the detector's recall floor,
+// so small-object sensitivity dominates accuracy.
+func DronePreset() Preset {
+	return Preset{
+		Name:         "drone-topdown",
+		Width:        1024,
+		Height:       1024,
+		FPS:          24,
+		NumSequences: 24,
+		FramesPerSeq: 240,
+		LabelEvery:   1,
+		EgoDrift:     1.6,
+		HorizonY:     0.50,
+		Classes: []ClassSpec{
+			{
+				Class:            dataset.Car,
+				SpawnRate:        0.11,
+				MinWidth:         7,
+				MaxWidth:         26,
+				Aspect:           1.0,
+				AspectJitter:     0.12,
+				SpeedStd:         1.6,
+				GrowthMean:       0.0,
+				GrowthStd:        0.002,
+				MeanLife:         140,
+				OcclusionRate:    0.002,
+				OcclusionMeanLen: 2,
+				HeavyOcclusionP:  0.1,
+			},
+			{
+				Class:            dataset.Pedestrian,
+				SpawnRate:        0.07,
+				MinWidth:         5,
+				MaxWidth:         14,
+				Aspect:           1.0,
+				AspectJitter:     0.15,
+				SpeedStd:         0.7,
+				GrowthMean:       0.0,
+				GrowthStd:        0.002,
+				MeanLife:         170,
+				OcclusionRate:    0.002,
+				OcclusionMeanLen: 2,
+				HeavyOcclusionP:  0.1,
+			},
+		},
+	}
+}
+
+// NightPreset models a low-light urban intersection at a low capture
+// rate (long exposures): sparse, larger objects — only nearby,
+// headlight-lit traffic registers — moving moderately. The scene
+// statistics are easy; the catch is DetectorNoise: every model's
+// confidence noise, localization jitter, false-positive rate and
+// per-track bias run at 2.5x their calibrated daylight values, so the
+// serving layer sees cheap frames with unreliable perception.
+func NightPreset() Preset {
+	return Preset{
+		Name:          "night-lowlight",
+		Width:         1280,
+		Height:        720,
+		FPS:           12,
+		NumSequences:  24,
+		FramesPerSeq:  150,
+		LabelEvery:    1,
+		EgoDrift:      1.0,
+		HorizonY:      0.45,
+		DetectorNoise: 2.5,
+		Classes: []ClassSpec{
+			{
+				Class:            dataset.Car,
+				SpawnRate:        0.016,
+				MinWidth:         28,
+				MaxWidth:         170,
+				Aspect:           0.62,
+				AspectJitter:     0.08,
+				SpeedStd:         1.9,
+				GrowthMean:       0.016,
+				GrowthStd:        0.010,
+				MeanLife:         70,
+				OcclusionRate:    0.02,
+				OcclusionMeanLen: 8,
+				HeavyOcclusionP:  0.4,
+			},
+			{
+				Class:            dataset.Pedestrian,
+				SpawnRate:        0.008,
+				MinWidth:         18,
+				MaxWidth:         80,
+				Aspect:           2.4,
+				AspectJitter:     0.25,
+				SpeedStd:         0.9,
+				GrowthMean:       0.010,
+				GrowthStd:        0.008,
+				MeanLife:         80,
+				OcclusionRate:    0.025,
+				OcclusionMeanLen: 8,
+				HeavyOcclusionP:  0.5,
+			},
+		},
+	}
+}
+
+// SportsPanPreset models a broadcast sports camera: a moderate number
+// of medium-sized players at sprint speeds, with the dominant motion
+// being the camera itself — fast pans sweep every object coherently
+// across the frame at tens of pixels per frame, truncating tracks at
+// the frame edge. High capture rate, violent apparent motion.
+func SportsPanPreset() Preset {
+	return Preset{
+		Name:         "sports-pan",
+		Width:        1920,
+		Height:       1080,
+		FPS:          50,
+		NumSequences: 24,
+		FramesPerSeq: 500,
+		LabelEvery:   1,
+		EgoDrift:     9.0,
+		HorizonY:     0.55,
+		Classes: []ClassSpec{
+			{
+				Class:            dataset.Pedestrian,
+				SpawnRate:        0.08,
+				MinWidth:         22,
+				MaxWidth:         95,
+				Aspect:           2.2,
+				AspectJitter:     0.2,
+				SpeedStd:         3.5,
+				GrowthMean:       0.002,
+				GrowthStd:        0.006,
+				MeanLife:         70,
+				OcclusionRate:    0.05,
+				OcclusionMeanLen: 5,
+				HeavyOcclusionP:  0.35,
+			},
+		},
+	}
+}

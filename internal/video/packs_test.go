@@ -1,0 +1,92 @@
+package video
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestRegistryResolvesEveryName pins the registry surface: every
+// listed name builds a preset whose native rate and classes are sane,
+// and lookups hand out fresh copies (mutating one cannot poison the
+// next).
+func TestRegistryResolvesEveryName(t *testing.T) {
+	want := []string{"citypersons", "crowd", "drone", "highway", "kitti", "mini", "night", "sports"}
+	if got := PresetNames(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("PresetNames() = %v, want %v", got, want)
+	}
+	for _, name := range PresetNames() {
+		p, err := PresetByName(name)
+		if err != nil {
+			t.Fatalf("PresetByName(%q): %v", name, err)
+		}
+		if p.Name == "" || p.FPS <= 0 || len(p.Classes) == 0 || p.Width <= 0 || p.Height <= 0 {
+			t.Errorf("preset %q is malformed: %+v", name, p)
+		}
+		p.Classes[0].SpawnRate = -1
+		fresh, _ := PresetByName(name)
+		if fresh.Classes[0].SpawnRate < 0 {
+			t.Errorf("preset %q: registry handed out a shared Classes slice", name)
+		}
+	}
+}
+
+// TestUnknownPresetListsValidNames pins the no-silent-fallback
+// contract: an unknown name fails, and the error carries every valid
+// name so the caller can print it verbatim.
+func TestUnknownPresetListsValidNames(t *testing.T) {
+	_, err := PresetByName("kittty")
+	if err == nil {
+		t.Fatal("PresetByName accepted an unknown name")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"kittty"`) {
+		t.Errorf("error %q does not echo the bad name", msg)
+	}
+	for _, name := range PresetNames() {
+		if !strings.Contains(msg, name) {
+			t.Errorf("error %q does not list valid preset %q", msg, name)
+		}
+	}
+}
+
+// TestMeasureDeterministic pins Measure as a pure function of
+// (preset, seed): the golden-metrics cross-check in internal/serve
+// relies on it.
+func TestMeasureDeterministic(t *testing.T) {
+	p := HighwayPreset()
+	a := Measure(p, 3, 120)
+	b := Measure(p, 3, 120)
+	if a != b {
+		t.Errorf("Measure not deterministic: %+v vs %+v", a, b)
+	}
+	c := Measure(p, 4, 120)
+	if a == c {
+		t.Errorf("Measure ignored the seed: %+v", a)
+	}
+	if a.MeanObjects <= 0 || a.MeanHeight <= 0 || a.MeanSpeed <= 0 {
+		t.Errorf("degenerate stats: %+v", a)
+	}
+}
+
+// TestNightElevatesDetectorNoise pins the night pack's defining knob
+// and that rate-rescaling carries it (a 30fps mobile client watching
+// the night world still sees night imaging).
+func TestNightElevatesDetectorNoise(t *testing.T) {
+	p := NightPreset()
+	if p.DetectorNoise <= 1 {
+		t.Fatalf("night preset DetectorNoise = %v, want > 1", p.DetectorNoise)
+	}
+	if r := p.Rescale(30); r.DetectorNoise != p.DetectorNoise {
+		t.Errorf("Rescale dropped DetectorNoise: %v -> %v", p.DetectorNoise, r.DetectorNoise)
+	}
+	for _, name := range []string{"kitti", "crowd", "highway", "drone", "sports"} {
+		q, err := PresetByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q.DetectorNoise != 0 {
+			t.Errorf("preset %q sets DetectorNoise %v; only night models degraded imaging", name, q.DetectorNoise)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package video
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// registry maps the short CLI name of every preset to its constructor.
+// Constructors (not values) so each lookup hands the caller a fresh,
+// mutation-safe Preset.
+var registry = map[string]func() Preset{
+	"kitti":       KITTIPreset,
+	"citypersons": CityPersonsPreset,
+	"mini":        MiniKITTIPreset,
+	"crowd":       CrowdSurgePreset,
+	"highway":     HighwayPreset,
+	"drone":       DronePreset,
+	"night":       NightPreset,
+	"sports":      SportsPanPreset,
+}
+
+// PresetNames lists every registered preset's short name, sorted.
+func PresetNames() []string {
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// PresetByName resolves a short preset name to a fresh Preset. An
+// unknown name fails with the full valid-name list, so a caller that
+// surfaces the error verbatim (cmd/serve does) never strands the user
+// guessing — there is no silent fallback.
+func PresetByName(name string) (Preset, error) {
+	build, ok := registry[name]
+	if !ok {
+		return Preset{}, fmt.Errorf("video: unknown preset %q (valid: %s)",
+			name, strings.Join(PresetNames(), ", "))
+	}
+	return build(), nil
+}

@@ -1,0 +1,60 @@
+package video
+
+import "math"
+
+// WorldStats summarizes the population statistics of one generated
+// sequence: the three axes along which the scenario packs are required
+// to be distinguishable. All values are deterministic in (preset,
+// seed) — Measure is a pure function — so tests can pin exact
+// relationships between presets.
+type WorldStats struct {
+	Frames int `json:"frames"`
+	// MeanObjects is the mean number of labeled objects per frame.
+	MeanObjects float64 `json:"mean_objects"`
+	// MeanHeight is the mean box height in pixels — the size axis the
+	// detectors' recall curves key on.
+	MeanHeight float64 `json:"mean_height_px"`
+	// MeanSpeed is the mean per-object apparent motion in pixels per
+	// second: consecutive-frame center displacement of each persisting
+	// track, scaled by the preset FPS. Ego motion (camera pan/drift)
+	// is included — it is apparent motion the tracker must follow.
+	MeanSpeed float64 `json:"mean_speed_px_s"`
+}
+
+// Measure generates sequence 0 of the preset at the given seed and
+// length and folds it into WorldStats.
+func Measure(p Preset, seed int64, frames int) WorldStats {
+	g := NewGrower(p, seed, 0)
+	g.Grow(frames)
+	seq := g.Sequence()
+	st := WorldStats{Frames: frames}
+	objects, heightSum := 0, 0.0
+	moves, moveSum := 0, 0.0
+	prev := map[int][2]float64{}
+	cur := map[int][2]float64{}
+	for f := 0; f < frames && f < len(seq.Frames); f++ {
+		for _, o := range seq.Frames[f].Objects {
+			objects++
+			heightSum += o.Box.Height()
+			cx, cy := o.Box.Center()
+			if p0, ok := prev[o.TrackID]; ok {
+				dx, dy := cx-p0[0], cy-p0[1]
+				moveSum += math.Hypot(dx, dy)
+				moves++
+			}
+			cur[o.TrackID] = [2]float64{cx, cy}
+		}
+		prev, cur = cur, prev
+		for id := range cur {
+			delete(cur, id)
+		}
+	}
+	if objects > 0 {
+		st.MeanObjects = float64(objects) / float64(st.Frames)
+		st.MeanHeight = heightSum / float64(objects)
+	}
+	if moves > 0 {
+		st.MeanSpeed = moveSum / float64(moves) * p.FPS
+	}
+	return st
+}

@@ -75,6 +75,15 @@ type Preset struct {
 	// around the horizon line), as a fraction of frame height.
 	HorizonY float64
 
+	// DetectorNoise scales the detector noise channels (confidence
+	// noise, localization jitter, false-positive rate, per-track bias)
+	// of every model serving this preset: 0 or 1 means the calibrated
+	// daylight profiles, >1 models degraded imaging — low light, rain,
+	// motion blur — where the same network sees a harder input
+	// distribution. The world's ground truth is unaffected; only the
+	// simulated perception degrades. See detector.Profile.ScaleNoise.
+	DetectorNoise float64
+
 	Classes []ClassSpec
 }
 
