@@ -9,14 +9,17 @@ REPRO_SEQS      ?= 6
 REPRO_CITY_SEQS ?= 60
 REPRO_OUT       ?= report.json
 BENCH_OUT       ?= bench.txt
-BENCH_JSON      ?= BENCH_PR5.json
+BENCH_JSON      ?= BENCH_HEAD.json
+BENCH_THRESHOLD ?= 0.15
+BENCH_COUNT     ?= 3
+BENCH_GATE_TIME ?= 3x
 SWEEP_OUT       ?= sweep.txt
 TRACE_OUT       ?= trace.jsonl
 PROFILE_BENCH   ?= BenchmarkServeOverload|BenchmarkServeParallelStep
 STATICCHECK     ?= staticcheck
 FUZZ_TIME       ?= 20s
 
-.PHONY: all fmt vet lint build test race cover fuzz bench bench-json profile repro sweep trace clean
+.PHONY: all fmt vet lint build test race cover fuzz bench bench-json bench-diff cluster-determinism profile repro sweep trace clean
 
 all: fmt vet build test
 
@@ -82,6 +85,31 @@ bench-json:
 		$(GO) run ./cmd/benchjson -o $(BENCH_JSON) $(BENCH_OUT) && \
 		echo "wrote $(BENCH_JSON)"
 
+# Benchmark regression gate: rerun the benchmarks with -benchmem and
+# diff against the newest committed BENCH_PR<n>.json baseline with
+# cmd/benchdiff. Fails on any ns/op regression beyond BENCH_THRESHOLD
+# (fractional, default 0.15) or allocs/op growth beyond a 0.1%
+# scheduling-jitter guard; when the baseline was recorded on a
+# different machine the ns/op gate degrades to advisory warnings and
+# only the allocation counts gate. Each run averages BENCH_GATE_TIME
+# iterations and repeats BENCH_COUNT times, comparing by per-benchmark
+# minimum (benchdiff folds duplicates), because single 1x iterations
+# swing tens of percent on loaded CI machines; the committed baselines
+# are recorded the same way.
+bench-diff:
+	@$(GO) test -run '^$$' -bench . -benchtime $(BENCH_GATE_TIME) -benchmem \
+		-count $(BENCH_COUNT) ./... > bench_head.txt 2>&1; \
+		st=$$?; if [ $$st -ne 0 ]; then cat bench_head.txt; exit $$st; fi; \
+		$(GO) run ./cmd/benchjson -o BENCH_HEAD.json bench_head.txt && \
+		$(GO) run ./cmd/benchdiff -head BENCH_HEAD.json -threshold $(BENCH_THRESHOLD)
+
+# Byte-identity of the merged cluster books across shard counts, static
+# executor counts and step-worker fan-outs, under the race detector:
+# the determinism contract the sharding/migration/autoscaling layer is
+# pinned to (see internal/serve/cluster).
+cluster-determinism:
+	$(GO) test -race -run '^TestClusterDeterminism$$' -v ./internal/serve/cluster/
+
 # CPU and heap profiles of the serving hot path (see PROFILE_BENCH).
 # Inspect with: go tool pprof -top cpu.prof
 profile:
@@ -99,9 +127,12 @@ repro:
 # quiet ones on a saturated executor, replayed under every scheduler x
 # batch-size combination, followed by every scenario pack replayed
 # under the pinned chaos conditions (dropouts, restarted numbering,
-# FPS jitter, clock skew, poison pills). The tables make scheduling/
-# batching and chaos-robustness regressions visible per PR (CI uploads
-# $(SWEEP_OUT) as an artifact).
+# FPS jitter, clock skew, poison pills), followed by the cluster
+# capacity sweep — a bursty load on two shards under static executor
+# counts 1..4 and the elastic autoscaler, where elastic wins on served
+# frames per modeled dollar. The tables make scheduling/batching,
+# chaos-robustness and elastic-economics regressions visible per PR
+# (CI uploads $(SWEEP_OUT) as an artifact).
 sweep:
 	@$(GO) run ./cmd/serve -preset mini -streams 6 -fps 12 \
 		-stream-fps 60,12,12,12,12,12 -arrivals poisson -executors 1 \
@@ -111,6 +142,13 @@ sweep:
 		$(GO) run ./cmd/serve -preset all -streams 3 -fps 10 -duration 4 \
 		-executors 1 -stale 0.4 -reconnect resume-with-gap -poison drop \
 		-chaos dropout=30,len=0.6,renumber,jitter=0.15,skew=0.08,poison=0.04 \
+		-sweep >> $(SWEEP_OUT); \
+		st=$$?; if [ $$st -ne 0 ]; then cat $(SWEEP_OUT); exit $$st; fi; \
+		echo >> $(SWEEP_OUT); \
+		$(GO) run ./cmd/serve -preset mini -streams 6 -fps 15 \
+		-arrivals burst -burst-period 4 -burst-duty 0.125 -duration 12 \
+		-queue-cap 256 -shards 2 \
+		-autoscale min=0,max=2,interval=0.25,up-queue=4,down-idle=1 \
 		-sweep >> $(SWEEP_OUT); \
 		st=$$?; cat $(SWEEP_OUT); exit $$st
 
@@ -124,5 +162,5 @@ trace:
 		st=$$?; wc -l $(TRACE_OUT); exit $$st
 
 clean:
-	rm -f $(REPRO_OUT) $(BENCH_OUT) $(BENCH_JSON) $(SWEEP_OUT) $(TRACE_OUT) \
-		cpu.prof mem.prof repro.test
+	rm -f $(REPRO_OUT) $(BENCH_OUT) bench_head.txt BENCH_HEAD.json \
+		$(SWEEP_OUT) $(TRACE_OUT) cpu.prof mem.prof repro.test

@@ -28,7 +28,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/detector"
+	"repro/internal/gpumodel"
 	"repro/internal/serve"
+	"repro/internal/serve/cluster"
 	"repro/internal/serve/sched"
 	"repro/internal/sim"
 	"repro/internal/tracker"
@@ -260,6 +262,7 @@ type SchedKind = sched.Kind
 const (
 	FixedFPS   = serve.FixedFPS
 	Poisson    = serve.Poisson
+	Burst      = serve.Burst
 	DropOldest = serve.DropOldest
 	DropNewest = serve.DropNewest
 
@@ -281,6 +284,82 @@ const (
 // ServeConfig.StepWorkers fan-out (the knob that maps the engine's real
 // per-frame CPU work onto physical cores) and on any machine.
 func Serve(cfg ServeConfig) (*ServeResult, error) { return serve.Run(cfg) }
+
+// Sharded cluster serving layer: a ClusterRouter partitions one
+// ServeConfig's streams across N shard Servers by consistent hashing
+// with load-aware placement, migrates streams off saturated shards,
+// autoscales each shard's executor count from live stats, and prices
+// capacity by heterogeneous GPU tiers. The single-fleet determinism
+// contract holds cluster-wide: the same ClusterConfig produces
+// byte-identical merged books on any machine at any StepWorkers
+// fan-out, and a one-shard cluster with the control policies off
+// reproduces Serve byte for byte.
+type (
+	// ClusterConfig describes one cluster scenario: the Base serving
+	// scenario to shard plus topology (shards, virtual nodes, placement
+	// load factor, hop latency, GPU tiers) and control policies.
+	ClusterConfig = cluster.Config
+	// ClusterMigration bounds when and how often a stream moves off a
+	// saturated shard (queue-depth trigger, cooldown, per-stream cap).
+	ClusterMigration = cluster.Migration
+	// ClusterAutoscale configures the per-shard elastic capacity loop
+	// (control-tick interval, min/max executors, growth and release
+	// hysteresis).
+	ClusterAutoscale = cluster.Autoscale
+	// ClusterRouter is the long-lived sharded serving cluster.
+	ClusterRouter = cluster.Router
+	// ClusterResult is the merged outcome: fleet and per-stream books,
+	// per-shard ledgers, migration/resize totals and modeled cost.
+	ClusterResult = cluster.Result
+	// ClusterShardBook is one shard's slice of the result: its tier,
+	// owned streams, rental cost and full single-fleet ServeResult.
+	ClusterShardBook = cluster.ShardBook
+	// ClusterStats is a live merged Router snapshot (per-shard queue
+	// depths, control-plane totals, sliding-window latency).
+	ClusterStats = cluster.Stats
+	// ClusterEvent is one cluster occurrence streamed to a ClusterSink:
+	// a shard's per-frame ServeEvent with attribution, a stream
+	// migration, or an executor resize.
+	ClusterEvent = cluster.Event
+	// ClusterEventKind classifies a ClusterEvent.
+	ClusterEventKind = cluster.EventKind
+	// ClusterSink receives ClusterEvents synchronously from the engine.
+	ClusterSink = cluster.Sink
+	// ClusterSinkFunc adapts a function to ClusterSink.
+	ClusterSinkFunc = cluster.SinkFunc
+	// GPUTier is one rentable GPU class: relative speed, price per hour
+	// and scale-up latency (see GPUTierByName for the catalog).
+	GPUTier = gpumodel.Tier
+)
+
+// Cluster event kinds.
+const (
+	ClusterEventServe   = cluster.EventServe
+	ClusterEventMigrate = cluster.EventMigrate
+	ClusterEventResize  = cluster.EventResize
+)
+
+// ErrClusterClosed is returned by ClusterRouter methods after Close.
+var ErrClusterClosed = cluster.ErrClosed
+
+// NewCluster builds a sharded serving cluster from a validated config.
+// Frames are pushed with Submit(stream, frame, arriveAt) and routed to
+// the owning shard; Drain runs every shard's backlog dry and merges the
+// books into a ClusterResult.
+func NewCluster(cfg ClusterConfig) (*ClusterRouter, error) { return cluster.New(cfg) }
+
+// ServeCluster runs one closed-loop cluster scenario: it builds a
+// ClusterRouter, replays the Base preset arrival schedule through it,
+// and drains — the cluster counterpart of Serve.
+func ServeCluster(cfg ClusterConfig) (*ClusterResult, error) { return cluster.Run(cfg) }
+
+// GPUTierByName resolves a catalog GPU tier (k80, titanx, v100); an
+// unknown name fails with an error listing every valid choice. The
+// reference tier titanx leaves the base timing model untouched.
+func GPUTierByName(name string) (GPUTier, error) { return gpumodel.TierByName(name) }
+
+// GPUTierNames lists the catalog tiers, sorted.
+func GPUTierNames() []string { return gpumodel.TierNames() }
 
 // LoadDataset reads a dataset from a JSON (optionally .gz) file.
 func LoadDataset(path string) (*Dataset, error) { return dataset.LoadFile(path) }

@@ -159,6 +159,75 @@ func TestFacadeChaosPath(t *testing.T) {
 	}
 }
 
+// TestFacadeClusterPath exercises the sharded cluster layer through the
+// public facade: a two-shard mixed-tier cluster with migration and
+// autoscaling on, driven closed-loop, must keep balanced books, price
+// its capacity, and stream attributed events to the sink.
+func TestFacadeClusterPath(t *testing.T) {
+	var serves, migrations, resizes int
+	res, err := ServeCluster(ClusterConfig{
+		Base: ServeConfig{
+			Spec: SystemSpec{
+				Kind: CaTDet, Proposal: "resnet10a", Refinement: "resnet50", Cfg: DefaultConfig(),
+			},
+			Preset:    MiniKITTIPreset(),
+			Seed:      1,
+			Streams:   6,
+			FPS:       15,
+			StreamFPS: []float64{90, 15, 15, 15, 15, 15},
+			Duration:  4,
+			QueueCap:  256,
+		},
+		Shards:    2,
+		GPUTiers:  []string{"v100", "k80"},
+		Migration: ClusterMigration{QueueDepth: 4},
+		Autoscale: ClusterAutoscale{Enabled: true, Min: 1, Max: 3},
+		Sink: ClusterSinkFunc(func(e ClusterEvent) {
+			switch e.Kind {
+			case ClusterEventServe:
+				if e.Serve.Kind == ServeEventServed {
+					serves++
+				}
+			case ClusterEventMigrate:
+				migrations++
+			case ClusterEventResize:
+				resizes++
+			}
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := res.Fleet
+	if fl.Served == 0 || fl.Served != serves {
+		t.Fatalf("fleet served %d, sink saw %d", fl.Served, serves)
+	}
+	if fl.Served+fl.DroppedQueue+fl.DroppedStale != fl.Arrived {
+		t.Fatalf("frame accounting leak: %+v", fl)
+	}
+	if res.Migrations != migrations || res.Resizes != resizes {
+		t.Fatalf("control books (%d migrations, %d resizes) disagree with sink (%d, %d)",
+			res.Migrations, res.Resizes, migrations, resizes)
+	}
+	if len(res.PerShard) != 2 || res.Cost <= 0 || res.ServedPerDollar <= 0 {
+		t.Fatalf("shard economics missing: %d shards, cost %v, served/$ %v",
+			len(res.PerShard), res.Cost, res.ServedPerDollar)
+	}
+	var shardCost float64
+	for _, b := range res.PerShard {
+		if _, err := GPUTierByName(b.Tier); err != nil {
+			t.Errorf("shard %d priced on unknown tier: %v", b.Shard, err)
+		}
+		shardCost += b.Cost
+	}
+	if math.Abs(shardCost-res.Cost) > 1e-9 {
+		t.Fatalf("shard costs sum to %v, cluster cost %v", shardCost, res.Cost)
+	}
+	if len(GPUTierNames()) < 3 {
+		t.Fatalf("tier catalog too small: %v", GPUTierNames())
+	}
+}
+
 func TestFacadeErrorsOnUnknownModel(t *testing.T) {
 	if _, err := NewSystem(SystemSpec{Kind: Single, Refinement: "alexnet"}, nil); err == nil {
 		t.Fatal("expected error")

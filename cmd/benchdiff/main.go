@@ -1,0 +1,117 @@
+// Command benchdiff gates the current benchmark numbers against the
+// repo's committed trajectory. It compares a head report (JSON from
+// benchjson or raw `go test -bench` text — the format is sniffed)
+// against a baseline BENCH_PR*.json and fails when, over the
+// benchmarks both reports pin:
+//
+//   - ns/op regresses by more than -threshold (default 15%), or
+//   - allocs/op regresses beyond a 0.1% scheduling-jitter guard —
+//     allocation counts are machine-independent, so the only noise
+//     budget is the few-allocation wobble of fan-out benchmarks.
+//
+// Duplicate entries of one benchmark (-count reruns) compare by their
+// minimum. When baseline and head were recorded on different hosts the
+// ns/op gate is downgraded to advisory warnings (cross-machine
+// nanoseconds are noise); the allocs/op gate always holds. Without
+// -baseline the newest committed BENCH_PR<n>.json in the working
+// directory is used.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchtime 1x -benchmem ./... | benchdiff
+//	benchdiff -baseline BENCH_PR7.json -head BENCH_HEAD.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+
+	"repro/internal/benchfmt"
+)
+
+// newestBaseline finds the committed BENCH_PR<n>.json with the largest
+// PR number in dir.
+func newestBaseline(dir string) (string, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_PR*.json"))
+	if err != nil {
+		return "", err
+	}
+	re := regexp.MustCompile(`^BENCH_PR(\d+)\.json$`)
+	bestN, best := -1, ""
+	for _, p := range paths {
+		m := re.FindStringSubmatch(filepath.Base(p))
+		if m == nil {
+			continue
+		}
+		n, err := strconv.Atoi(m[1])
+		if err != nil {
+			continue
+		}
+		if n > bestN {
+			bestN, best = n, p
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("no BENCH_PR<n>.json baseline found in %s", dir)
+	}
+	return best, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchdiff: ")
+	baseline := flag.String("baseline", "", "baseline report (default: newest BENCH_PR<n>.json in the working directory)")
+	headPath := flag.String("head", "-", "head report file, JSON or bench text (\"-\" = stdin)")
+	threshold := flag.Float64("threshold", 0.15, "allowed fractional ns/op regression")
+	flag.Parse()
+
+	if *baseline == "" {
+		p, err := newestBaseline(".")
+		if err != nil {
+			log.Fatal(err)
+		}
+		*baseline = p
+	}
+	base, err := benchfmt.ReadFile(*baseline)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var head *benchfmt.Report
+	if *headPath == "-" {
+		head, err = benchfmt.Read(os.Stdin)
+	} else {
+		head, err = benchfmt.ReadFile(*headPath)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(head.Benchmarks) == 0 {
+		log.Fatal("head report has no benchmarks")
+	}
+
+	regs, matched := benchfmt.Diff(base, head, *threshold)
+	if matched == 0 {
+		log.Fatalf("no benchmark appears in both %s and head — nothing is pinned", *baseline)
+	}
+	if !base.SameHost(head) {
+		fmt.Printf("note: baseline host (%s/%s %q) differs from head (%s/%s %q); ns/op gate is advisory\n",
+			base.Goos, base.Goarch, base.CPU, head.Goos, head.Goarch, head.CPU)
+	}
+	failed := 0
+	for _, r := range regs {
+		fmt.Println(r)
+		if !r.Advisory {
+			failed++
+		}
+	}
+	fmt.Printf("benchdiff: %d benchmarks compared against %s, %d regressions (%d fatal)\n",
+		matched, *baseline, len(regs), failed)
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

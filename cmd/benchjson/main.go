@@ -6,56 +6,28 @@
 //
 // — and emits one record per benchmark with the harness quantities
 // (ns/op, B/op, allocs/op) as typed fields and every b.ReportMetric
-// custom unit under "metrics". CI runs it after the benchmark smoke
-// pass (see `make bench-json`) and uploads the result, so the repo
-// accumulates a per-PR performance trajectory that tooling can diff
-// without scraping text.
+// custom unit under "metrics" (see internal/benchfmt for the schema).
+// CI runs it after the benchmark smoke pass (see `make bench-json`) and
+// uploads the result, so the repo accumulates a per-PR performance
+// trajectory that cmd/benchdiff gates without scraping text.
 //
 // Usage:
 //
-//	go test -run '^$' -bench . -benchtime 1x -benchmem ./... | benchjson -o BENCH_PR5.json
+//	go test -run '^$' -bench . -benchtime 1x -benchmem ./... | benchjson -o BENCH_PR7.json
 //
 // Non-benchmark lines (goos/pkg/PASS/ok and test chatter) are ignored,
 // so piping the whole `go test` output is fine.
 package main
 
 import (
-	"bufio"
 	"encoding/json"
 	"flag"
-	"fmt"
 	"io"
 	"log"
 	"os"
-	"strconv"
-	"strings"
+
+	"repro/internal/benchfmt"
 )
-
-// Benchmark is one parsed benchmark result line.
-type Benchmark struct {
-	// Name is the benchmark as printed, sub-benchmarks and any
-	// -cpu suffix included (e.g. "BenchmarkServeParallelStep/workers=1-8").
-	Name string `json:"name"`
-	// Iterations is b.N for the reported run.
-	Iterations int64 `json:"iterations"`
-	// NsPerOp, BytesPerOp and AllocsPerOp are the harness quantities;
-	// BytesPerOp/AllocsPerOp are present only under -benchmem.
-	NsPerOp     float64  `json:"ns_per_op"`
-	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
-	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
-	// Metrics holds every custom b.ReportMetric unit on the line.
-	Metrics map[string]float64 `json:"metrics,omitempty"`
-}
-
-// Report is the file-level envelope.
-type Report struct {
-	// Context lines captured from the bench output header.
-	Goos   string `json:"goos,omitempty"`
-	Goarch string `json:"goarch,omitempty"`
-	CPU    string `json:"cpu,omitempty"`
-
-	Benchmarks []Benchmark `json:"benchmarks"`
-}
 
 func main() {
 	log.SetFlags(0)
@@ -75,7 +47,7 @@ func main() {
 		log.Fatal("at most one input file (default stdin)")
 	}
 
-	rep, err := parse(in)
+	rep, err := benchfmt.ParseText(in)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -97,73 +69,4 @@ func main() {
 	if err := enc.Encode(rep); err != nil {
 		log.Fatal(err)
 	}
-}
-
-// parse scans the bench output for header context and benchmark lines.
-func parse(r io.Reader) (*Report, error) {
-	rep := &Report{}
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		switch {
-		case strings.HasPrefix(line, "goos: "):
-			rep.Goos = strings.TrimPrefix(line, "goos: ")
-		case strings.HasPrefix(line, "goarch: "):
-			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
-		case strings.HasPrefix(line, "cpu: "):
-			rep.CPU = strings.TrimPrefix(line, "cpu: ")
-		case strings.HasPrefix(line, "Benchmark"):
-			b, ok, err := parseBenchLine(line)
-			if err != nil {
-				return nil, err
-			}
-			if ok {
-				rep.Benchmarks = append(rep.Benchmarks, b)
-			}
-		}
-	}
-	return rep, sc.Err()
-}
-
-// parseBenchLine parses one "BenchmarkName N value unit ..." line.
-// ok=false for Benchmark-prefixed lines that are not results (e.g. a
-// bare name echoed by -v).
-func parseBenchLine(line string) (Benchmark, bool, error) {
-	fields := strings.Fields(line)
-	if len(fields) < 4 || len(fields)%2 != 0 {
-		return Benchmark{}, false, nil
-	}
-	n, err := strconv.ParseInt(fields[1], 10, 64)
-	if err != nil {
-		return Benchmark{}, false, nil
-	}
-	b := Benchmark{Name: fields[0], Iterations: n}
-	seenNs := false
-	for i := 2; i+1 < len(fields); i += 2 {
-		val, err := strconv.ParseFloat(fields[i], 64)
-		if err != nil {
-			return Benchmark{}, false, fmt.Errorf("bad value %q on line %q", fields[i], line)
-		}
-		switch unit := fields[i+1]; unit {
-		case "ns/op":
-			b.NsPerOp = val
-			seenNs = true
-		case "B/op":
-			v := val
-			b.BytesPerOp = &v
-		case "allocs/op":
-			v := val
-			b.AllocsPerOp = &v
-		default:
-			if b.Metrics == nil {
-				b.Metrics = map[string]float64{}
-			}
-			b.Metrics[unit] = val
-		}
-	}
-	if !seenNs {
-		return Benchmark{}, false, nil
-	}
-	return b, true, nil
 }

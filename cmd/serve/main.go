@@ -20,6 +20,10 @@
 //	serve -chaos dropout=30,renumber -reconnect resume-with-gap
 //	serve -chaos jitter=0.2,skew=0.1,poison=0.05 -poison drop # flaky clients + corrupt frames
 //	serve -preset all -sweep                                  # one comparison row per scenario pack
+//	serve -shards 4 -gpu-tiers v100,v100,k80,k80              # sharded cluster, mixed GPU tiers
+//	serve -shards 2 -migrate-depth 4 -stream-fps 120,15,15,15 # hot stream migrates off its shard
+//	serve -arrivals burst -burst-period 4 -burst-duty 0.125 \
+//	      -shards 2 -autoscale min=0,max=2 -sweep             # elastic vs static economics table
 package main
 
 import (
@@ -34,6 +38,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/serve"
+	"repro/internal/serve/cluster"
 	"repro/internal/serve/sched"
 	"repro/internal/sim"
 	"repro/internal/video"
@@ -56,7 +61,9 @@ func main() {
 	streams := flag.Int("streams", 4, "number of concurrent video streams")
 	fps := flag.Float64("fps", 0, "per-stream frame rate (0 = preset native)")
 	streamFPS := flag.String("stream-fps", "", "comma-separated per-stream rates overriding -fps (heterogeneous load)")
-	arrivals := flag.String("arrivals", "fixed", "arrival process: fixed | poisson")
+	arrivals := flag.String("arrivals", "fixed", "arrival process: fixed | poisson | burst")
+	burstPeriod := flag.Float64("burst-period", 0, "burst window length in seconds (burst arrivals; 0 = default 2)")
+	burstDuty := flag.Float64("burst-duty", 0, "fraction of each burst window that offers load (burst arrivals; 0 = default 0.5)")
 	duration := flag.Float64("duration", 30, "virtual seconds of offered load")
 	executors := flag.Int("executors", 1, "number of GPU executors")
 	stepWorkers := flag.Int("step-workers", 0, "goroutines stepping stream sessions per dispatch round (0 = GOMAXPROCS; any value is byte-identical)")
@@ -72,6 +79,11 @@ func main() {
 	maxFrame := flag.Int("max-frame", 0, "largest accepted frame index (0 = default bound)")
 	chaos := flag.String("chaos", "", "fault injection, comma-separated k=v: dropout=<per-min>, len=<s>, renumber, jitter=<std>, skew=<s>, poison=<rate>")
 	seed := flag.Int64("seed", 1, "world and arrival seed")
+	shards := flag.Int("shards", 0, "shard the streams across this many Servers (0 = single fleet; see internal/serve/cluster)")
+	gpuTiers := flag.String("gpu-tiers", "", "comma-separated GPU tier per shard, or one name for all (cluster mode; default titanx)")
+	hop := flag.Float64("hop", 0, "cross-node hop latency charged to frames served off their hash-home shard (cluster mode; 0 = default 2ms)")
+	migrateDepth := flag.Int("migrate-depth", 0, "per-stream queue depth that arms stream migration off a saturated shard (cluster mode; 0 = off)")
+	autoscale := flag.String("autoscale", "", "elastic per-shard executors (cluster mode): \"on\" or k=v list min=,max=,interval=,up-queue=,down-idle=,p99=")
 	jsonOut := flag.Bool("json", false, "emit the full machine-readable result instead of text")
 	sweep := flag.Bool("sweep", false, "run the scheduler x batch grid on this scenario and print a comparison table")
 	trace := flag.String("trace", "", "stream per-frame serve events (served/dropped/degraded) as JSONL to this file (\"-\" = stdout)")
@@ -109,6 +121,8 @@ func main() {
 		FPS:          *fps,
 		StreamFPS:    parseFloats(*streamFPS),
 		Arrivals:     serve.ArrivalKind(*arrivals),
+		BurstPeriod:  *burstPeriod,
+		BurstDuty:    *burstDuty,
 		Duration:     *duration,
 		Executors:    *executors,
 		StepWorkers:  *stepWorkers,
@@ -123,6 +137,31 @@ func main() {
 		Poison:       serve.PoisonPolicy(*poison),
 		MaxFrame:     *maxFrame,
 		Chaos:        ch,
+	}
+	as, err := parseAutoscale(*autoscale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *shards <= 0 && (*gpuTiers != "" || *hop != 0 || *migrateDepth > 0 || *autoscale != "") {
+		log.Fatal("-gpu-tiers, -hop, -migrate-depth and -autoscale configure the sharded cluster; they need -shards")
+	}
+	if *shards > 0 {
+		if presetAll {
+			log.Fatal("-preset all sweeps scenario packs on a single fleet; it does not combine with -shards")
+		}
+		ccfg := cluster.Config{
+			Base:       cfg,
+			Shards:     *shards,
+			HopLatency: *hop,
+			GPUTiers:   parseNames(*gpuTiers),
+			Migration:  cluster.Migration{QueueDepth: *migrateDepth},
+			Autoscale:  as,
+		}
+		if err := ccfg.Validate(); err != nil {
+			log.Fatal(err)
+		}
+		runCluster(ccfg, *sweep, *jsonOut, *trace)
+		return
 	}
 	if err := cfg.Validate(); err != nil {
 		// Field-path errors ("serve: Chaos.PoisonRate: ...") point at
@@ -239,6 +278,154 @@ func runPresetSweep(base serve.Config) {
 	}
 	fmt.Println("\nEach pack is a distinct world distribution (density, object size,")
 	fmt.Println("apparent speed); night additionally degrades the detectors' noise.")
+}
+
+// runCluster is the -shards entry point: one sharded scenario (text or
+// JSON, optionally traced) or the static-vs-elastic capacity sweep.
+func runCluster(cfg cluster.Config, sweep, jsonOut bool, trace string) {
+	if trace != "" {
+		if sweep {
+			log.Fatal("-trace streams one scenario's events; it does not combine with -sweep")
+		}
+		if trace == "-" && jsonOut {
+			log.Fatal("-trace - and -json would interleave two machine formats on stdout; trace to a file instead")
+		}
+		w := io.Writer(os.Stdout)
+		if trace != "-" {
+			f, err := os.Create(trace)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		enc := json.NewEncoder(w)
+		cfg.Sink = cluster.SinkFunc(func(e cluster.Event) {
+			if err := enc.Encode(e); err != nil {
+				log.Fatalf("trace: %v", err)
+			}
+		})
+	}
+	if sweep {
+		if jsonOut {
+			log.Fatal("-sweep prints a text comparison table; it has no -json form")
+		}
+		runClusterSweep(cfg)
+		return
+	}
+	res, err := cluster.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	res.WriteText(os.Stdout)
+}
+
+// runClusterSweep replays the exact same offered load under static
+// per-shard executor counts 1..4 and under the elastic autoscaler, and
+// prints one economics row per capacity plan. The -autoscale flag (or
+// its defaults) shapes the elastic row; static rows force it off.
+func runClusterSweep(base cluster.Config) {
+	n := base.Normalized()
+	fmt.Printf("cluster sweep: %d streams over %d shards (%s), %.1fs, seed %d (same arrivals every row)\n\n",
+		n.Base.Streams, n.Shards, strings.Join(n.GPUTiers, ","), n.Base.Duration, n.Base.Seed)
+	fmt.Println("capacity    served/offered  drop%   p50       p99       migr  resz  cost$     served/$")
+	row := func(label string, cfg cluster.Config) {
+		res, err := cluster.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fl := res.Fleet
+		fmt.Printf("%-10s  %6d/%-7d  %5.1f  %-8s  %-8s  %4d  %4d  %8.4f  %8.1f\n",
+			label, fl.Served, fl.Arrived, 100*fl.DropRate,
+			msStr(fl.Latency.P50), msStr(fl.Latency.P99),
+			res.Migrations, res.Resizes, res.Cost, res.ServedPerDollar)
+	}
+	for execs := 1; execs <= 4; execs++ {
+		cfg := base
+		cfg.Autoscale = cluster.Autoscale{}
+		cfg.Base.Executors = execs
+		row(fmt.Sprintf("static x%d", execs), cfg)
+	}
+	elastic := base
+	elastic.Autoscale.Enabled = true
+	row("elastic", elastic)
+	fmt.Println("\nstatic rows pin every shard at n executors for the whole scenario;")
+	fmt.Println("the elastic row rents per-shard capacity from live queue depth, so")
+	fmt.Println("cost follows load. served/$ is the economic headline: served frames")
+	fmt.Println("per modeled rental dollar at the shard tiers' prices.")
+}
+
+// parseNames parses a comma-separated name list ("" = nil).
+func parseNames(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i, p := range parts {
+		parts[i] = strings.TrimSpace(p)
+	}
+	return parts
+}
+
+// parseAutoscale parses the -autoscale flag: "" (off), "on" (defaults),
+// or a comma-separated k=v list ("min=0,max=2,interval=0.25,up-queue=4,
+// down-idle=1,p99=0.5"). Range checking is cluster.Config.Validate's
+// job; this only maps names to fields.
+func parseAutoscale(s string) (cluster.Autoscale, error) {
+	var a cluster.Autoscale
+	if s == "" {
+		return a, nil
+	}
+	a.Enabled = true
+	if s == "on" {
+		return a, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		key, val, hasVal := strings.Cut(part, "=")
+		if !hasVal {
+			return a, fmt.Errorf("autoscale: %q is not k=v (keys: min, max, interval, up-queue, down-idle, p99)", part)
+		}
+		val = strings.TrimSpace(val)
+		switch key {
+		case "interval", "p99":
+			v, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return a, fmt.Errorf("autoscale: bad value in %q: %v", part, err)
+			}
+			if key == "interval" {
+				a.Interval = v
+			} else {
+				a.P99 = v
+			}
+		case "min", "max", "up-queue", "down-idle":
+			v, err := strconv.Atoi(val)
+			if err != nil {
+				return a, fmt.Errorf("autoscale: bad value in %q: %v", part, err)
+			}
+			switch key {
+			case "min":
+				a.Min = v
+			case "max":
+				a.Max = v
+			case "up-queue":
+				a.UpQueue = v
+			case "down-idle":
+				a.DownIdle = v
+			}
+		default:
+			return a, fmt.Errorf("autoscale: unknown key %q (keys: min, max, interval, up-queue, down-idle, p99)", key)
+		}
+	}
+	return a, nil
 }
 
 // parseChaos parses the -chaos flag: a comma-separated k=v list

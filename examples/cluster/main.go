@@ -1,0 +1,143 @@
+// Cluster scenario: one serving load sharded across a fleet of
+// independent Servers. A Router partitions the streams by consistent
+// hashing, a hot stream migrates off its saturated shard exactly once,
+// mixed GPU tiers price each shard's capacity differently, and the
+// autoscaler turns a bursty load into rented-on-demand executors that
+// beat every static provisioning plan on served frames per dollar.
+package main
+
+import (
+	"context"
+	"fmt"
+
+	catdet "repro"
+)
+
+func base() catdet.ServeConfig {
+	return catdet.ServeConfig{
+		Spec: catdet.SystemSpec{
+			Kind: catdet.CaTDet, Proposal: "resnet10a", Refinement: "resnet50", Cfg: catdet.DefaultConfig(),
+		},
+		Preset:   catdet.MiniKITTIPreset(),
+		Seed:     1,
+		Streams:  6,
+		FPS:      15,
+		Duration: 6,
+		QueueCap: 256,
+	}
+}
+
+func row(label string, res *catdet.ClusterResult) {
+	fl := res.Fleet
+	fmt.Printf("%-22s %5d/%-5d %5.1f  %8.1fms  %4d  %4d  $%.4f  %9.1f\n",
+		label, fl.Served, fl.Arrived, 100*fl.DropRate, 1000*fl.Latency.P99,
+		res.Migrations, res.Resizes, res.Cost, res.ServedPerDollar)
+}
+
+func main() {
+	// One hot stream (90 fps against 15) saturates its shard; at the
+	// migration trigger depth the Router drains it on the source and
+	// re-admits it on the least-loaded shard under a bumped epoch, with
+	// every off-home frame paying the modeled cross-node hop.
+	hot := base()
+	hot.StreamFPS = []float64{90, 15, 15, 15, 15, 15}
+	var moved []catdet.ClusterEvent
+	cfg := catdet.ClusterConfig{
+		Base:      hot,
+		Shards:    2,
+		Migration: catdet.ClusterMigration{QueueDepth: 4},
+		Sink: catdet.ClusterSinkFunc(func(e catdet.ClusterEvent) {
+			if e.Kind == catdet.ClusterEventMigrate {
+				moved = append(moved, e)
+			}
+		}),
+	}
+	res, err := catdet.ServeCluster(cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("hot stream on a 2-shard cluster (migration depth 4):\n\n")
+	fmt.Println("capacity               served      drop%  p99         migr  resz  cost     served/$")
+	row("2 shards + migration", res)
+	fmt.Println()
+	for _, m := range moved {
+		fmt.Printf("  t=%.2fs stream %d migrated shard %d -> %d (epoch %d)\n",
+			m.Time, m.Stream, m.From, m.To, m.Epoch)
+	}
+	for _, b := range res.PerShard {
+		fmt.Printf("  shard %d (%s): served %d, owns streams %v\n",
+			b.Shard, b.Tier, b.Result.Fleet.Served, b.Streams)
+	}
+
+	// Heterogeneous hardware: the same load on a v100 shard and a k80
+	// shard. The tier scales the GPU side of the Appendix I timing model
+	// and prices the rental, so the books show the fast shard serving
+	// more frames at a higher dollar rate.
+	mixed := cfg
+	mixed.Sink = nil
+	mixed.GPUTiers = []string{"v100", "k80"}
+	res, err = catdet.ServeCluster(mixed)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nsame load, mixed tiers (v100 + k80):\n\n")
+	for _, b := range res.PerShard {
+		tier, _ := catdet.GPUTierByName(b.Tier)
+		fmt.Printf("  shard %d (%-6s %.2fx, $%.2f/h): served %4d  util %5.1f%%  $%.4f\n",
+			b.Shard, b.Tier, tier.Speed, tier.DollarsPerHour,
+			b.Result.Fleet.Served, 100*b.Result.Utilization, b.Cost)
+	}
+
+	// Elastic economics: a bursty load (load only 1/8 of each 4s window)
+	// is the autoscaler's home turf. Static plans pay for idle capacity
+	// between bursts; the elastic cluster parks at zero executors and
+	// rents capacity when the queue builds, so it serves every frame at
+	// a fraction of the rental.
+	bursty := base()
+	bursty.Arrivals = catdet.Burst
+	bursty.BurstPeriod = 4
+	bursty.BurstDuty = 0.125
+	bursty.Duration = 12
+	fmt.Printf("\nbursty load (15 fps x 1/8 duty), static vs elastic capacity:\n\n")
+	fmt.Println("capacity               served      drop%  p99         migr  resz  cost     served/$")
+	for execs := 1; execs <= 3; execs++ {
+		c := catdet.ClusterConfig{Base: bursty, Shards: 2}
+		c.Base.Executors = execs
+		r, err := catdet.ServeCluster(c)
+		if err != nil {
+			panic(err)
+		}
+		row(fmt.Sprintf("static x%d", execs), r)
+	}
+	elastic := catdet.ClusterConfig{
+		Base:   bursty,
+		Shards: 2,
+		Autoscale: catdet.ClusterAutoscale{
+			Enabled: true, Min: 0, Max: 2, Interval: 0.25, UpQueue: 4, DownIdle: 1,
+		},
+	}
+	// The Router is push-based like the Server: drive it by hand to
+	// watch the control plane rent and release executors mid-load.
+	router, err := catdet.NewCluster(elastic)
+	if err != nil {
+		panic(err)
+	}
+	defer router.Close()
+	if err := router.Ingest(catdet.ServeScheduleSource(router.Config().Base)); err != nil {
+		panic(err)
+	}
+	live := router.Stats()
+	eres, err := router.Drain(context.Background())
+	if err != nil {
+		panic(err)
+	}
+	row("elastic (0..2/shard)", eres)
+	fmt.Printf("\n  live before drain: %d arrived, %d executors rented, per-shard queues %v\n",
+		live.Arrived, live.Executors, live.PerShardQueue)
+
+	fmt.Println("\nsame seed, same arrivals, same worlds — the cluster layer only moves")
+	fmt.Println("streams and capacity. Migration relocates the hot stream after its")
+	fmt.Println("backlog builds, mixed tiers trade dollars for speed on the same books,")
+	fmt.Println("and on bursty load the autoscaler beats every static plan on served")
+	fmt.Println("frames per modeled dollar. Every number above is byte-reproducible.")
+}

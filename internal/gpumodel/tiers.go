@@ -1,0 +1,72 @@
+package gpumodel
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Tier describes a GPU class a serving shard can run on: how fast it
+// executes the paper's timing model relative to the reference Maxwell
+// Titan X, what it costs to rent, and how long a newly requested
+// executor takes to come online. Speeds are rough public-benchmark
+// ratios for the inference workloads of the paper, not measurements;
+// prices follow the classic cloud list prices for the same parts.
+type Tier struct {
+	// Name identifies the tier in configs and books (e.g. "titanx").
+	Name string
+	// Speed is the GPU-side throughput multiplier relative to the
+	// reference Titan X (alpha and launch overhead divide by it).
+	Speed float64
+	// DollarsPerHour is the modeled rental price of one executor.
+	DollarsPerHour float64
+	// ScaleUpLatency is the modeled seconds between an autoscaler
+	// requesting an executor and the capacity serving frames.
+	ScaleUpLatency float64
+}
+
+// DollarsPerSecond converts the rental price to the per-second rate the
+// cost integral charges.
+func (t Tier) DollarsPerSecond() float64 { return t.DollarsPerHour / 3600 }
+
+// Apply rescales a timing model's GPU-side parameters for this tier.
+// CPU-side overheads are host work and do not change with the GPU. The
+// reference tier (Speed 1) returns the model unchanged, bit for bit, so
+// tiered and untiered runs of the same scenario stay byte-identical.
+func (t Tier) Apply(m Model) Model {
+	if t.Speed == 1 {
+		return m
+	}
+	m.Alpha /= t.Speed
+	m.LaunchOverhead /= t.Speed
+	return m
+}
+
+// Model is shorthand for t.Apply(Default()).
+func (t Tier) Model() Model { return t.Apply(Default()) }
+
+// tiers is the built-in catalog. The reference "titanx" tier must stay
+// Speed 1 — Tier.Apply relies on it being an exact identity.
+var tiers = map[string]Tier{
+	"k80":    {Name: "k80", Speed: 0.45, DollarsPerHour: 0.90, ScaleUpLatency: 1.5},
+	"titanx": {Name: "titanx", Speed: 1.0, DollarsPerHour: 1.80, ScaleUpLatency: 1.0},
+	"v100":   {Name: "v100", Speed: 2.3, DollarsPerHour: 3.06, ScaleUpLatency: 0.8},
+}
+
+// TierByName resolves a catalog tier; the error lists the valid names.
+func TierByName(name string) (Tier, error) {
+	t, ok := tiers[name]
+	if !ok {
+		return Tier{}, fmt.Errorf("gpumodel: unknown tier %q (have %v)", name, TierNames())
+	}
+	return t, nil
+}
+
+// TierNames returns the catalog names in sorted order.
+func TierNames() []string {
+	names := make([]string, 0, len(tiers))
+	for n := range tiers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,85 @@
+package gpumodel
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTierCatalog pins the catalog surface: names resolve, unknown
+// names error, and the listing is sorted and complete.
+func TestTierCatalog(t *testing.T) {
+	names := TierNames()
+	want := []string{"k80", "titanx", "v100"}
+	if len(names) != len(want) {
+		t.Fatalf("TierNames() = %v, want %v", names, want)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("TierNames() = %v, want %v", names, want)
+		}
+		tier, err := TierByName(n)
+		if err != nil {
+			t.Fatalf("TierByName(%q): %v", n, err)
+		}
+		if tier.Name != n {
+			t.Errorf("tier %q carries name %q", n, tier.Name)
+		}
+		if tier.Speed <= 0 || tier.DollarsPerHour <= 0 || tier.ScaleUpLatency <= 0 {
+			t.Errorf("tier %q has non-positive parameters: %+v", n, tier)
+		}
+	}
+	if _, err := TierByName("tpu"); err == nil {
+		t.Error("unknown tier resolved")
+	}
+}
+
+// TestReferenceTierIsIdentity pins the determinism-critical contract:
+// applying the titanx tier to the default model is an exact no-op, so
+// tiered configs naming the reference GPU produce byte-identical books
+// to untiered ones.
+func TestReferenceTierIsIdentity(t *testing.T) {
+	ref, err := TierByName("titanx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := ref.Apply(Default()), Default(); got != want {
+		t.Fatalf("titanx.Apply(Default()) = %+v, want exactly %+v", got, want)
+	}
+	if got, want := ref.Model(), Default(); got != want {
+		t.Fatalf("titanx.Model() = %+v, want exactly %+v", got, want)
+	}
+}
+
+// TestTierScaling pins the rescaling semantics: GPU-side parameters
+// divide by Speed, CPU-side overheads are untouched, and a faster tier
+// yields strictly faster frame estimates.
+func TestTierScaling(t *testing.T) {
+	v100, err := TierByName("v100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Default()
+	m := v100.Apply(base)
+	if m.Alpha != base.Alpha/v100.Speed || m.LaunchOverhead != base.LaunchOverhead/v100.Speed {
+		t.Errorf("GPU parameters not divided by speed: %+v", m)
+	}
+	if m.CPUOverheadSingle != base.CPUOverheadSingle || m.CPUOverheadCaTDet != base.CPUOverheadCaTDet {
+		t.Errorf("CPU overheads changed with the GPU tier: %+v", m)
+	}
+	const ops = 254.3e9
+	if fast, slow := m.SingleModelFrame(ops).GPU, base.SingleModelFrame(ops).GPU; fast >= slow {
+		t.Errorf("v100 frame %v not faster than titanx %v", fast, slow)
+	}
+	k80, _ := TierByName("k80")
+	if slow := k80.Model().SingleModelFrame(ops).GPU; slow <= base.SingleModelFrame(ops).GPU {
+		t.Errorf("k80 frame %v not slower than titanx", slow)
+	}
+}
+
+// TestDollarsPerSecond pins the unit conversion the cost integral uses.
+func TestDollarsPerSecond(t *testing.T) {
+	tier := Tier{DollarsPerHour: 3.60}
+	if got := tier.DollarsPerSecond(); math.Abs(got-0.001) > 1e-15 {
+		t.Errorf("DollarsPerSecond = %v, want 0.001", got)
+	}
+}

@@ -1,0 +1,515 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/gpumodel"
+	"repro/internal/serve"
+)
+
+// ErrClosed is returned by Submit and Drain after Close.
+var ErrClosed = errors.New("serve/cluster: router closed")
+
+// EventKind classifies a cluster event.
+type EventKind string
+
+// The cluster event kinds.
+const (
+	// EventServe wraps one shard's per-frame serve.Event.
+	EventServe EventKind = "serve"
+	// EventMigrate fires when the Router moves a stream between shards;
+	// From/To are the shards, Epoch the stream's new cluster epoch.
+	EventMigrate EventKind = "migrate"
+	// EventResize fires when the autoscaler (or the drain park-guard)
+	// requests a shard capacity change; Executors is the new target and
+	// Time the virtual instant it becomes effective (decision time plus
+	// the tier's ScaleUpLatency for growth).
+	EventResize EventKind = "resize"
+)
+
+// Event is one cluster-level occurrence, reported to Config.Sink.
+type Event struct {
+	Kind  EventKind `json:"kind"`
+	Shard int       `json:"shard"`
+	// Serve carries the wrapped per-frame event for EventServe.
+	Serve *serve.Event `json:"serve,omitempty"`
+	// Stream, From, To and Epoch describe an EventMigrate.
+	Stream int `json:"stream,omitempty"`
+	From   int `json:"from,omitempty"`
+	To     int `json:"to,omitempty"`
+	Epoch  int `json:"epoch,omitempty"`
+	// Executors is an EventResize's new target count.
+	Executors int `json:"executors,omitempty"`
+	// Time is when the event takes effect on the virtual clock.
+	Time float64 `json:"time_s"`
+}
+
+// Sink receives cluster events. Implementations run synchronously on
+// the engine: they must be fast and must not call back into the Router.
+type Sink interface {
+	ClusterEvent(Event)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(Event)
+
+// ClusterEvent implements Sink.
+func (fn SinkFunc) ClusterEvent(e Event) { fn(e) }
+
+// Router partitions one serving scenario's streams across shard
+// Servers and runs the cluster control plane: consistent-hash placement
+// with a load cap, bounded stream migration off saturated shards, and
+// optional per-shard autoscaling priced by GPU tier. Methods are safe
+// for concurrent use; like serve.Server, byte-level determinism is
+// guaranteed for time-ordered submission (Run's schedule replay).
+type Router struct {
+	mu     sync.Mutex
+	cfg    Config // normalized
+	shards []*serve.Server
+	tiers  []gpumodel.Tier
+
+	// Stream routing state: hash home, current owner, cluster epoch
+	// (bumped per migration) and migration count per stream.
+	home, owner []int
+	epoch       []int
+	migCount    []int
+
+	// Control-plane state.
+	nextTick  float64   // next control tick on the virtual clock
+	lastMig   []float64 // last migration time per source shard
+	pending   []float64 // per shard: time until which a resize is in flight
+	idleTicks []int     // per shard: consecutive fully-idle control ticks
+
+	migrations int
+	resizes    int
+
+	// Merged books: per-stream served latencies collected from every
+	// shard's sink (serve summaries cannot be merged after the fact),
+	// plus a sliding window over the latest served latencies for Stats.
+	lat    [][]float64
+	window []float64
+	wn     int
+
+	closed bool
+}
+
+// shardSink forwards one shard's per-frame events into the Router's
+// merged books and the user sink. It runs under the shard server's
+// lock, which the Router only takes while already holding its own lock,
+// so the unguarded field access is safe.
+type shardSink struct {
+	r     *Router
+	shard int
+}
+
+func (s shardSink) ServeEvent(e serve.Event) {
+	r := s.r
+	if e.Kind == serve.EventServed {
+		r.lat[e.Stream] = append(r.lat[e.Stream], e.Latency)
+		if len(r.window) < cap(r.window) {
+			r.window = append(r.window, e.Latency)
+		} else {
+			r.window[r.wn%cap(r.window)] = e.Latency
+		}
+		r.wn++
+	}
+	if r.cfg.Sink != nil {
+		ev := e
+		r.cfg.Sink.ClusterEvent(Event{Kind: EventServe, Shard: s.shard, Serve: &ev, Time: e.Time})
+	}
+}
+
+// New builds a Router: the ring, the initial placement and one shard
+// Server per shard, each over the full normalized Base (identical
+// worlds everywhere — only the routing decides which shard serves a
+// stream). Elastic shards are parked at Autoscale.Min from t=0.
+func New(cfg Config) (*Router, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	home, owner := place(newRing(cfg.Shards, cfg.VirtualNodes), cfg.Base.Streams, cfg.PlacementLoadFactor)
+	r := &Router{
+		cfg:       cfg,
+		shards:    make([]*serve.Server, cfg.Shards),
+		tiers:     make([]gpumodel.Tier, cfg.Shards),
+		home:      home,
+		owner:     owner,
+		epoch:     make([]int, cfg.Base.Streams),
+		migCount:  make([]int, cfg.Base.Streams),
+		lastMig:   make([]float64, cfg.Shards),
+		pending:   make([]float64, cfg.Shards),
+		idleTicks: make([]int, cfg.Shards),
+		lat:       make([][]float64, cfg.Base.Streams),
+		window:    make([]float64, 0, cfg.Base.StatsWindow),
+	}
+	if cfg.controlled() {
+		r.nextTick = cfg.Autoscale.Interval
+	} else {
+		r.nextTick = math.Inf(1)
+	}
+	for i := range r.lastMig {
+		r.lastMig[i] = math.Inf(-1)
+	}
+	base := gpumodel.Default()
+	if cfg.Base.GPU != nil {
+		base = *cfg.Base.GPU
+	}
+	for s := 0; s < cfg.Shards; s++ {
+		tier, err := gpumodel.TierByName(cfg.GPUTiers[s%len(cfg.GPUTiers)])
+		if err != nil {
+			return nil, err
+		}
+		r.tiers[s] = tier
+		shardCfg := cfg.Base
+		shardCfg.Sink = shardSink{r: r, shard: s}
+		model := tier.Apply(base)
+		shardCfg.GPU = &model
+		srv, err := serve.New(shardCfg)
+		if err != nil {
+			for _, prev := range r.shards {
+				if prev != nil {
+					prev.Close()
+				}
+			}
+			return nil, err
+		}
+		r.shards[s] = srv
+		if cfg.Autoscale.Enabled {
+			if err := srv.ResizeAt(cfg.Autoscale.Min, 0); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return r, nil
+}
+
+// Config returns the router's normalized configuration.
+func (r *Router) Config() Config {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cfg
+}
+
+// Placement returns each stream's hash-home shard and current owner
+// shard (they differ for load-capped placements and migrated streams,
+// which pay the hop latency).
+func (r *Router) Placement() (home, owner []int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]int(nil), r.home...), append([]int(nil), r.owner...)
+}
+
+// Submit routes one frame to its stream's current owner shard, first
+// running every control tick due at or before the arrival time. Frames
+// owned off their hash home pay the configured hop latency on their
+// arrival stamp.
+func (r *Router) Submit(stream, frame int, arriveAt float64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return ErrClosed
+	}
+	if stream < 0 || stream >= r.cfg.Base.Streams {
+		return fmt.Errorf("serve/cluster: Submit: stream %d out of range [0,%d)", stream, r.cfg.Base.Streams)
+	}
+	r.controlTo(arriveAt)
+	at := arriveAt
+	s := r.owner[stream]
+	if s != r.home[stream] && !math.IsNaN(at) {
+		at += r.cfg.HopLatency
+	}
+	return r.shards[s].Submit(stream, frame, at)
+}
+
+// Ingest submits every arrival the source yields, in order, stopping at
+// the first error.
+func (r *Router) Ingest(src serve.Source) error {
+	for {
+		a, ok := src.Next()
+		if !ok {
+			return nil
+		}
+		if err := r.Submit(a.Stream, a.Frame, a.At); err != nil {
+			return err
+		}
+	}
+}
+
+// controlTo runs every control tick at or before t: each shard is
+// advanced to the tick time so its Stats are current, then the
+// autoscaler and the migration policy fire in shard order. Called with
+// r.mu held.
+func (r *Router) controlTo(t float64) {
+	if math.IsNaN(t) {
+		return
+	}
+	for r.nextTick <= t {
+		e := r.nextTick
+		r.nextTick += r.cfg.Autoscale.Interval
+		stats := make([]serve.Stats, len(r.shards))
+		for s, srv := range r.shards {
+			srv.AdvanceTo(e)
+			stats[s] = srv.Stats()
+		}
+		if r.cfg.Autoscale.Enabled {
+			for s := range r.shards {
+				r.autoscaleShard(s, e, stats[s])
+			}
+		}
+		if r.cfg.Migration.QueueDepth > 0 {
+			for s := range r.shards {
+				r.maybeMigrate(s, e, stats)
+			}
+		}
+	}
+}
+
+// autoscaleShard applies the elastic policy to one shard at control
+// tick e. Called with r.mu held.
+func (r *Router) autoscaleShard(s int, e float64, st serve.Stats) {
+	a := r.cfg.Autoscale
+	if e < r.pending[s] {
+		return // a resize is still provisioning; no stacked decisions
+	}
+	execs := st.Executors
+	grow := st.QueueDepth >= a.UpQueue
+	if a.P99 > 0 && st.Window.P99 > a.P99 && st.QueueDepth > 0 {
+		grow = true
+	}
+	switch {
+	case grow && execs < a.Max:
+		add := st.QueueDepth / a.UpQueue
+		if add < 1 {
+			add = 1
+		}
+		n := execs + add
+		if n > a.Max {
+			n = a.Max
+		}
+		r.resizeShard(s, n, e+r.tiers[s].ScaleUpLatency)
+		r.idleTicks[s] = 0
+	case st.QueueDepth == 0 && st.BusyExecutors == 0 && execs > a.Min:
+		r.idleTicks[s]++
+		if r.idleTicks[s] >= a.DownIdle {
+			// Release is immediate: handing capacity back has no
+			// provisioning latency.
+			r.resizeShard(s, a.Min, e)
+			r.idleTicks[s] = 0
+		}
+	default:
+		r.idleTicks[s] = 0
+	}
+}
+
+// resizeShard schedules a shard capacity change and books the event.
+// Called with r.mu held.
+func (r *Router) resizeShard(s, n int, at float64) {
+	if err := r.shards[s].ResizeAt(n, at); err != nil {
+		return // only closed/invalid-time, neither reachable here
+	}
+	r.pending[s] = at
+	r.resizes++
+	if r.cfg.Sink != nil {
+		r.cfg.Sink.ClusterEvent(Event{Kind: EventResize, Shard: s, Executors: n, Time: at})
+	}
+}
+
+// maybeMigrate moves the hottest migratable stream off shard s when its
+// backlog justifies it. Called with r.mu held, stats indexed by shard.
+func (r *Router) maybeMigrate(s int, e float64, stats []serve.Stats) {
+	m := r.cfg.Migration
+	if len(r.shards) < 2 || e-r.lastMig[s] < m.Cooldown {
+		return
+	}
+	// Hottest candidate stream on s: deepest per-stream backlog at or
+	// over the arm threshold, migration budget left; lowest index wins
+	// ties.
+	hot, hotDepth := -1, 0
+	for stream, owner := range r.owner {
+		if owner != s || r.migCount[stream] >= m.MaxPerStream {
+			continue
+		}
+		d := 0
+		if q := stats[s].PerStreamQueue; stream < len(q) {
+			d = q[stream]
+		}
+		if d >= m.QueueDepth && d > hotDepth {
+			hot, hotDepth = stream, d
+		}
+	}
+	if hot < 0 {
+		return
+	}
+	// Least-loaded target by total backlog, then by owned-stream count,
+	// then lowest index.
+	target := -1
+	for t := range r.shards {
+		if t == s {
+			continue
+		}
+		if target < 0 {
+			target = t
+			continue
+		}
+		if stats[t].QueueDepth != stats[target].QueueDepth {
+			if stats[t].QueueDepth < stats[target].QueueDepth {
+				target = t
+			}
+			continue
+		}
+		if r.ownedCount(t) < r.ownedCount(target) {
+			target = t
+		}
+	}
+	if target < 0 || stats[s].QueueDepth-stats[target].QueueDepth <= m.MinGain {
+		return
+	}
+	r.owner[hot] = target
+	r.epoch[hot]++
+	r.migCount[hot]++
+	r.lastMig[s] = e
+	r.migrations++
+	if r.cfg.Sink != nil {
+		r.cfg.Sink.ClusterEvent(Event{
+			Kind: EventMigrate, Shard: target, Stream: hot,
+			From: s, To: target, Epoch: r.epoch[hot], Time: e,
+		})
+	}
+}
+
+// ownedCount is the number of streams currently owned by shard s.
+// Called with r.mu held.
+func (r *Router) ownedCount(s int) int {
+	n := 0
+	for _, o := range r.owner {
+		if o == s {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats returns a live merged snapshot of the cluster.
+func (r *Router) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := Stats{
+		PerShardQueue: make([]int, len(r.shards)),
+		Migrations:    r.migrations,
+		Resizes:       r.resizes,
+	}
+	for s, srv := range r.shards {
+		ss := srv.Stats()
+		if ss.Now > st.Now {
+			st.Now = ss.Now
+		}
+		st.Arrived += ss.Arrived
+		st.Served += ss.Served
+		st.DroppedQueue += ss.DroppedQueue
+		st.DroppedStale += ss.DroppedStale
+		st.DroppedPoison += ss.DroppedPoison
+		st.Reconnects += ss.Reconnects
+		st.Degraded += ss.Degraded
+		st.QueueDepth += ss.QueueDepth
+		st.BusyExecutors += ss.BusyExecutors
+		st.Executors += ss.Executors
+		st.PerShardQueue[s] = ss.QueueDepth
+	}
+	if st.Now > 0 {
+		st.Throughput = float64(st.Served) / st.Now
+	}
+	if st.Arrived > 0 {
+		st.DropRate = float64(st.DroppedQueue+st.DroppedStale) / float64(st.Arrived)
+	}
+	st.Window = serve.Summarize(r.window)
+	return st
+}
+
+// Stats is a live merged snapshot of a Router, the cluster counterpart
+// of serve.Stats.
+type Stats struct {
+	Now           float64 `json:"now_s"`
+	Arrived       int     `json:"arrived"`
+	Served        int     `json:"served"`
+	DroppedQueue  int     `json:"dropped_queue"`
+	DroppedStale  int     `json:"dropped_stale"`
+	DroppedPoison int     `json:"dropped_poison,omitempty"`
+	Reconnects    int     `json:"reconnects,omitempty"`
+	Degraded      int     `json:"degraded"`
+	QueueDepth    int     `json:"queue_depth"`
+	BusyExecutors int     `json:"busy_executors"`
+	Executors     int     `json:"executors"`
+	PerShardQueue []int   `json:"per_shard_queue"`
+	Migrations    int     `json:"migrations"`
+	Resizes       int     `json:"resizes"`
+	Throughput    float64 `json:"throughput_fps"`
+	DropRate      float64 `json:"drop_rate"`
+	// Window summarizes the latest Base.StatsWindow served latencies
+	// across every shard.
+	Window serve.LatencySummary `json:"window_latency"`
+}
+
+// Drain runs every shard's backlog dry and merges the books. A shard
+// parked at zero executors with frames still queued is revived to one
+// executor first (after its tier's scale-up latency) so every admitted
+// frame reaches an outcome — the park-guard a real operator would call
+// scale-from-zero. Like serve.Server.Drain it does not close the
+// Router; on context cancellation partial shard state is kept.
+func (r *Router) Drain(ctx context.Context) (*Result, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, ErrClosed
+	}
+	for s, srv := range r.shards {
+		st := srv.Stats()
+		if st.QueueDepth > 0 && st.Executors == 0 {
+			n := 1
+			if r.cfg.Autoscale.Enabled && r.cfg.Autoscale.Min > n {
+				n = r.cfg.Autoscale.Min
+			}
+			r.resizeShard(s, n, st.Now+r.tiers[s].ScaleUpLatency)
+		}
+	}
+	books := make([]*serve.Result, len(r.shards))
+	for s, srv := range r.shards {
+		res, err := srv.Drain(ctx)
+		if err != nil {
+			return nil, err
+		}
+		books[s] = res
+	}
+	return r.merge(books), nil
+}
+
+// Close closes every shard. Closing twice is a no-op.
+func (r *Router) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.closed = true
+	for _, srv := range r.shards {
+		srv.Close()
+	}
+	return nil
+}
+
+// Run executes one closed-loop cluster scenario: build the Router,
+// replay the Base config's preset arrival schedule through it in global
+// virtual-time order, drain and merge. The same Config produces a
+// byte-identical Result on any machine at any Base.StepWorkers.
+func Run(cfg Config) (*Result, error) {
+	r, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	if err := r.Ingest(serve.ScheduleSource(r.cfg.Base)); err != nil {
+		return nil, err
+	}
+	return r.Drain(context.Background())
+}

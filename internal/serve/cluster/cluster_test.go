@@ -1,0 +1,330 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+	"repro/internal/sim"
+	"repro/internal/video"
+)
+
+// baseConfig is a small CaTDet scenario on the mini world; tests tweak
+// the returned copy.
+func baseConfig() serve.Config {
+	return serve.Config{
+		Spec: sim.SystemSpec{
+			Kind: sim.CaTDet, Proposal: "resnet10a", Refinement: "resnet50",
+			Cfg: core.DefaultConfig(),
+		},
+		Preset:   video.MiniKITTIPreset(),
+		Seed:     1,
+		Streams:  6,
+		FPS:      15,
+		Arrivals: serve.Poisson,
+		Duration: 4,
+	}
+}
+
+func mustRun(t *testing.T, cfg Config) *Result {
+	t.Helper()
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func marshal(t *testing.T, r *Result) []byte {
+	t.Helper()
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// everythingOn is the kitchen-sink cluster scenario the determinism
+// matrix pins: bursty load, heterogeneous tiers, migration and the
+// autoscaler all at once.
+func everythingOn() Config {
+	base := baseConfig()
+	base.Arrivals = serve.Burst
+	base.BurstPeriod = 1.5
+	base.BurstDuty = 0.5
+	base.QueueCap = 64
+	return Config{
+		Base:      base,
+		GPUTiers:  []string{"titanx", "v100", "k80"},
+		Migration: Migration{QueueDepth: 3},
+		Autoscale: Autoscale{Enabled: true, Max: 3},
+	}
+}
+
+// TestClusterDeterminism is the cluster-wide determinism contract: for
+// every (shards, executors) scenario — the identity axes — the merged
+// books are byte-identical across reruns and across Base.StepWorkers 1
+// and 4 (the execution knob), with migration, autoscaling, tiers and
+// burst arrivals all live.
+func TestClusterDeterminism(t *testing.T) {
+	for _, shards := range []int{1, 2, 4} {
+		for _, executors := range []int{1, 2} {
+			t.Run(fmt.Sprintf("shards=%d/executors=%d", shards, executors), func(t *testing.T) {
+				var golden []byte
+				for _, workers := range []int{1, 4, 1} { // trailing 1 = rerun
+					cfg := everythingOn()
+					cfg.Shards = shards
+					cfg.GPUTiers = []string{"titanx", "v100", "k80", "v100"}[:shards]
+					cfg.Base.Executors = executors
+					cfg.Base.StepWorkers = workers
+					b := marshal(t, mustRun(t, cfg))
+					if golden == nil {
+						golden = b
+					} else if !bytes.Equal(golden, b) {
+						t.Fatalf("books diverge at StepWorkers=%d", workers)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestOneShardMatchesServe pins the degenerate cluster: one shard, no
+// control policies — the shard's book is byte-identical to serve.Run of
+// the same Base, and the merged rows echo it.
+func TestOneShardMatchesServe(t *testing.T) {
+	base := baseConfig()
+	single, err := serve.Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := mustRun(t, Config{Base: base, Shards: 1})
+	got, err := json.Marshal(r.PerShard[0].Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Errorf("one-shard book differs from serve.Run:\n  serve:   %s\n  cluster: %s", want, got)
+	}
+	if r.Fleet.Served != single.Fleet.Served || r.Fleet.Arrived != single.Fleet.Arrived {
+		t.Errorf("merged fleet (%d/%d) != single fleet (%d/%d)",
+			r.Fleet.Served, r.Fleet.Arrived, single.Fleet.Served, single.Fleet.Arrived)
+	}
+	if r.Migrations != 0 || r.Resizes != 0 {
+		t.Errorf("control plane acted on an uncontrolled cluster: %d migrations, %d resizes", r.Migrations, r.Resizes)
+	}
+	if got, want := r.Cost, float64(single.Executors)*single.LastEventAt*0.0005; got != want {
+		t.Errorf("static titanx cost = %v, want executors*makespan*$/s = %v", got, want)
+	}
+}
+
+// TestMigrationSemantics drives one hot stream (8x the fps of its
+// peers) into a two-shard cluster and pins the migration contract: the
+// hot stream migrates exactly once, a cluster epoch is minted, frames
+// after the move land on the target (the books partition the stream
+// across both shards), and the merged totals reconcile with both the
+// shard books and the live Stats.
+func TestMigrationSemantics(t *testing.T) {
+	base := baseConfig()
+	base.StreamFPS = []float64{15, 15, 15, 15, 15, 120}
+	base.QueueCap = 256
+	cfg := Config{
+		Base:      base,
+		Shards:    2,
+		Migration: Migration{QueueDepth: 4},
+	}
+	var migrations []Event
+	cfg.Sink = SinkFunc(func(e Event) {
+		if e.Kind == EventMigrate {
+			migrations = append(migrations, e)
+		}
+	})
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := r.Ingest(serve.ScheduleSource(r.Config().Base)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Drain(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const hot = 5
+	if res.Migrations != len(migrations) {
+		t.Errorf("result books %d migrations, sink saw %d", res.Migrations, len(migrations))
+	}
+	perStream := make([]int, base.Streams)
+	hotMigs := []Event(nil)
+	for _, e := range migrations {
+		perStream[e.Stream]++
+		if e.Stream == hot {
+			hotMigs = append(hotMigs, e)
+		}
+	}
+	for i, n := range perStream {
+		if n > 1 {
+			t.Errorf("stream %d migrated %d times, MaxPerStream is 1", i, n)
+		}
+	}
+	if len(hotMigs) != 1 {
+		t.Fatalf("hot stream migrated %d times, want exactly 1 (all migrations: %+v)", len(hotMigs), migrations)
+	}
+	mig := hotMigs[0]
+	if mig.Epoch != 1 {
+		t.Errorf("migration epoch = %d, want 1", mig.Epoch)
+	}
+	if mig.From == mig.To {
+		t.Errorf("migration from shard %d to itself", mig.From)
+	}
+	_, owner := r.Placement()
+	if owner[hot] != mig.To {
+		t.Errorf("owner[%d] = %d after migration to %d", hot, owner[hot], mig.To)
+	}
+
+	// The hot stream's book partitions across both shards: frames
+	// before the move on the source, frames after on the target.
+	src := res.PerShard[mig.From].Result.PerStream[hot]
+	dst := res.PerShard[mig.To].Result.PerStream[hot]
+	if src.Arrived == 0 || dst.Arrived == 0 {
+		t.Errorf("hot stream not partitioned: source saw %d, target saw %d", src.Arrived, dst.Arrived)
+	}
+	merged := res.PerStream[hot]
+	if merged.Arrived != src.Arrived+dst.Arrived || merged.Served != src.Served+dst.Served {
+		t.Errorf("merged hot row (%d/%d) != source+target (%d/%d)",
+			merged.Served, merged.Arrived, src.Served+dst.Served, src.Arrived+dst.Arrived)
+	}
+	for i, row := range res.PerStream {
+		sum := 0
+		for _, b := range res.PerShard {
+			sum += b.Result.PerStream[i].Served
+		}
+		if row.Served != sum {
+			t.Errorf("stream %d merged served %d != shard sum %d", i, row.Served, sum)
+		}
+	}
+
+	// Live Stats after the drain reconcile with the merged Result.
+	st := r.Stats()
+	if st.Served != res.Fleet.Served || st.Arrived != res.Fleet.Arrived {
+		t.Errorf("Stats (%d/%d) != Result fleet (%d/%d)", st.Served, st.Arrived, res.Fleet.Served, res.Fleet.Arrived)
+	}
+	if st.QueueDepth != 0 || st.BusyExecutors != 0 {
+		t.Errorf("drained cluster still busy: %+v", st)
+	}
+	if st.Migrations != res.Migrations {
+		t.Errorf("Stats.Migrations = %d, Result says %d", st.Migrations, res.Migrations)
+	}
+}
+
+// TestHopLatencyCharged pins the cross-node tax: a stream served off
+// its hash home arrives later by exactly HopLatency, so a forced
+// off-home cluster serves every frame no earlier than the on-home one.
+func TestHopLatencyCharged(t *testing.T) {
+	base := baseConfig()
+	base.Arrivals = serve.FixedFPS
+	// Load factor 1.0 caps each of the two shards at streams/2; pick
+	// the smallest stream count whose (deterministic) hash placement
+	// actually overflows the cap, so an off-home stream pays the hop.
+	offHome := false
+	for n := 2; n <= 8 && !offHome; n++ {
+		base.Streams = n
+		router, err := New(Config{Base: base, Shards: 2, PlacementLoadFactor: 1.0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		home, owner := router.Placement()
+		router.Close()
+		for i := range home {
+			if home[i] != owner[i] {
+				offHome = true
+			}
+		}
+	}
+	if !offHome {
+		t.Fatal("no stream count up to 8 overflowed the cap — placement override is dead code")
+	}
+	run := func(hop float64) *Result {
+		return mustRun(t, Config{Base: base, Shards: 2, HopLatency: hop, PlacementLoadFactor: 1.0})
+	}
+	cheap, taxed := run(1e-9), run(0.5)
+	if cheap.Fleet.Arrived != taxed.Fleet.Arrived {
+		t.Fatalf("hop changed offered load: %d vs %d", cheap.Fleet.Arrived, taxed.Fleet.Arrived)
+	}
+	if taxed.LastEventAt <= cheap.LastEventAt {
+		t.Errorf("0.5s hop did not extend the makespan: %v vs %v", taxed.LastEventAt, cheap.LastEventAt)
+	}
+}
+
+// TestElasticBeatsStatic is the autoscaler's economic acceptance: under
+// synchronized bursty load there is a scenario where the elastic
+// cluster beats every static executor count on served frames per
+// modeled dollar — idle gaps are parked at Min=0 instead of rented.
+func TestElasticBeatsStatic(t *testing.T) {
+	base := baseConfig()
+	base.Arrivals = serve.Burst
+	base.BurstPeriod = 4
+	base.BurstDuty = 0.125
+	base.Duration = 12
+	base.QueueCap = 256
+	mk := func(execs int, elastic bool) Config {
+		b := base
+		b.Executors = execs
+		cfg := Config{Base: b, Shards: 2}
+		if elastic {
+			cfg.Autoscale = Autoscale{Enabled: true, Min: 0, Max: 2, Interval: 0.25, UpQueue: 4, DownIdle: 1}
+		}
+		return cfg
+	}
+	elastic := mustRun(t, mk(1, true))
+	if elastic.ServedPerDollar <= 0 {
+		t.Fatalf("elastic cluster has no economics: %+v", elastic.Fleet)
+	}
+	for _, execs := range []int{1, 2, 3, 4} {
+		static := mustRun(t, mk(execs, false))
+		if static.ServedPerDollar >= elastic.ServedPerDollar {
+			t.Errorf("static %d executors/shard: %.1f served/$ >= elastic %.1f served/$",
+				execs, static.ServedPerDollar, elastic.ServedPerDollar)
+		}
+		// Apples to apples: nobody may shed load to win the ratio.
+		if static.Fleet.DroppedQueue+static.Fleet.DroppedStale > 0 || elastic.Fleet.DroppedQueue+elastic.Fleet.DroppedStale > 0 {
+			t.Errorf("drops under static %d: static %d, elastic %d", execs,
+				static.Fleet.DroppedQueue+static.Fleet.DroppedStale,
+				elastic.Fleet.DroppedQueue+elastic.Fleet.DroppedStale)
+		}
+	}
+	if elastic.Resizes < 2 {
+		t.Errorf("elastic run resized only %d times — the autoscaler never breathed", elastic.Resizes)
+	}
+}
+
+// TestClusterValidation pins the field-path errors of the cluster
+// config surface.
+func TestClusterValidation(t *testing.T) {
+	bad := []Config{
+		{Base: baseConfig(), GPUTiers: []string{"tpu"}},
+		{Base: baseConfig(), Shards: 3, GPUTiers: []string{"titanx", "v100"}},
+		{Base: baseConfig(), HopLatency: -1},
+		{Base: baseConfig(), Autoscale: Autoscale{Enabled: true, Min: 5, Max: 2}},
+		{Base: baseConfig(), Migration: Migration{QueueDepth: 2, MinGain: -1}},
+		{Base: serve.Config{}},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d validated: %+v", i, cfg)
+		}
+	}
+	if err := (Config{Base: baseConfig()}).Validate(); err != nil {
+		t.Errorf("default cluster config rejected: %v", err)
+	}
+}

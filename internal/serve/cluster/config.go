@@ -1,0 +1,226 @@
+// Package cluster scales the single-fleet serving model of
+// internal/serve out to a sharded cluster: a Router partitions the
+// streams of one serve.Config across N shard Servers by consistent
+// hashing (with a load-aware placement override), migrates a stream off
+// a saturated shard at most a bounded number of times — the source
+// drains the stream's queued frames, the target re-admits it under a
+// bumped cluster epoch, and every frame served off its hash-home shard
+// pays a modeled cross-node hop latency on its arrival stamp — and an
+// optional autoscaler grows and shrinks each shard's executor count
+// from live Stats signals (queue depth, busy executors, sliding-window
+// p99) with hysteresis, modeled scale-up latency and rental cost priced
+// by the shard's gpumodel.Tier.
+//
+// The determinism contract is the single-fleet one, cluster-wide: the
+// same Config (seed, shards, tiers, policies) produces byte-identical
+// merged books on any machine, at any Base.StepWorkers fan-out, because
+// every control decision keys on virtual-clock state reached by the
+// same deterministic event order. A one-shard cluster with migration
+// and autoscaling off reproduces serve.Run byte for byte.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/gpumodel"
+	"repro/internal/serve"
+)
+
+// Migration bounds when and how often the Router moves a stream off a
+// saturated shard. The zero value disables migration.
+type Migration struct {
+	// QueueDepth arms migration: a stream becomes a candidate when its
+	// per-stream backlog on its shard reaches this depth at a control
+	// tick. 0 disables migration entirely.
+	QueueDepth int `json:"queue_depth"`
+	// Cooldown is the minimum virtual seconds between two migrations
+	// off the same source shard (default 2).
+	Cooldown float64 `json:"cooldown_s"`
+	// MaxPerStream caps how many times one stream may migrate over the
+	// scenario (default 1: a hot stream moves once and settles).
+	MaxPerStream int `json:"max_per_stream"`
+	// MinGain is the minimum total-backlog gap (source queue depth
+	// minus target queue depth, in frames) that justifies a move; the
+	// gap must exceed it strictly. 0 demands any strict improvement.
+	MinGain int `json:"min_gain"`
+}
+
+// Autoscale configures the per-shard elastic capacity loop. The zero
+// value (Enabled false) pins every shard at Base.Executors.
+type Autoscale struct {
+	// Enabled turns the autoscaler on. Elastic shards start at Min
+	// executors — capacity is rented on demand, not provisioned ahead.
+	Enabled bool `json:"enabled"`
+	// Interval is the control-tick spacing in virtual seconds (default
+	// 0.5). Migration shares the same tick grid.
+	Interval float64 `json:"interval_s"`
+	// Min and Max bound each shard's executor count (defaults 0 and 8).
+	// Min 0 lets an idle shard park completely: frames queue, nothing
+	// serves, and no rental cost accrues until load returns.
+	Min int `json:"min"`
+	Max int `json:"max"`
+	// UpQueue is the queue depth that triggers growth (default 3): at
+	// depth d >= UpQueue the shard adds d/UpQueue executors (at least
+	// one), clamped to Max, effective after the tier's ScaleUpLatency.
+	UpQueue int `json:"up_queue"`
+	// DownIdle is the hysteresis for release: after this many
+	// consecutive fully-idle control ticks (empty queue, no busy
+	// executor) the shard drops straight to Min (default 2).
+	DownIdle int `json:"down_idle"`
+	// P99, when positive, also triggers growth whenever the shard's
+	// sliding-window p99 latency exceeds this many seconds.
+	P99 float64 `json:"p99_s,omitempty"`
+}
+
+// Config describes one cluster scenario: the Base single-fleet scenario
+// whose streams are partitioned, plus the cluster topology and control
+// policies.
+type Config struct {
+	// Base is the serving scenario to shard. Every shard Server is
+	// built over the full normalized Base (same preset, seed and stream
+	// space, so every shard regenerates identical worlds); the Router
+	// routes each stream's frames to exactly one shard at a time.
+	// Base.Executors is each shard's static executor count (and the
+	// identity echoed in the books); Base.Sink is ignored — use
+	// Config.Sink, which sees every shard's events with attribution.
+	Base serve.Config
+
+	// Shards is the number of shard Servers (default 2).
+	Shards int
+
+	// VirtualNodes is the number of ring points per shard for the
+	// consistent-hash placement (default 64).
+	VirtualNodes int
+
+	// PlacementLoadFactor caps initial placement skew: no shard is
+	// assigned more than ceil(factor * Streams/Shards) streams at
+	// construction; overflow walks the ring to the next shard under the
+	// cap (default 1.25). Streams placed off their hash home this way
+	// pay the hop latency like migrated ones.
+	PlacementLoadFactor float64
+
+	// HopLatency is the modeled cross-node forwarding delay in seconds,
+	// added to the arrival stamp of every frame routed to a shard other
+	// than its stream's hash home (default 0.002).
+	HopLatency float64
+
+	// GPUTiers names the gpumodel tier each shard runs on: one name for
+	// a homogeneous cluster, or exactly Shards names. Empty means the
+	// reference "titanx" on every shard (which keeps shard timing
+	// byte-identical to the untiered Base).
+	GPUTiers []string
+
+	// Migration and Autoscale are the control policies; both key on
+	// live shard Stats at the shared control-tick grid.
+	Migration Migration
+	Autoscale Autoscale
+
+	// Sink, when non-nil, receives cluster events: every shard's
+	// per-frame serve.Event wrapped with its shard index, plus
+	// migration and resize decisions. Like serve.Config.Sink it runs
+	// synchronously on the engine and must not call back into the
+	// Router.
+	Sink Sink
+}
+
+// withDefaults fills every unset field with its documented default.
+func (c Config) withDefaults() Config {
+	c.Base = c.Base.Normalized()
+	c.Base.Sink = nil
+	if c.Shards <= 0 {
+		c.Shards = 2
+	}
+	if c.VirtualNodes <= 0 {
+		c.VirtualNodes = 64
+	}
+	if c.PlacementLoadFactor <= 0 {
+		c.PlacementLoadFactor = 1.25
+	}
+	if c.HopLatency == 0 {
+		c.HopLatency = 0.002
+	}
+	if len(c.GPUTiers) == 0 {
+		c.GPUTiers = []string{"titanx"}
+	}
+	if c.Migration.QueueDepth > 0 {
+		if c.Migration.Cooldown <= 0 {
+			c.Migration.Cooldown = 2
+		}
+		if c.Migration.MaxPerStream <= 0 {
+			c.Migration.MaxPerStream = 1
+		}
+	}
+	if c.Autoscale.Enabled {
+		if c.Autoscale.Interval <= 0 {
+			c.Autoscale.Interval = 0.5
+		}
+		if c.Autoscale.Max <= 0 {
+			c.Autoscale.Max = 8
+		}
+		if c.Autoscale.UpQueue <= 0 {
+			c.Autoscale.UpQueue = 3
+		}
+		if c.Autoscale.DownIdle <= 0 {
+			c.Autoscale.DownIdle = 2
+		}
+	} else if c.Migration.QueueDepth > 0 && c.Autoscale.Interval <= 0 {
+		// Migration shares the control-tick grid even with the
+		// autoscaler off.
+		c.Autoscale.Interval = 0.5
+	}
+	return c
+}
+
+// Normalized returns the config as New and Run execute it.
+func (c Config) Normalized() Config { return c.withDefaults() }
+
+// Validate checks the config exactly as New would see it (defaults
+// applied to a copy first) and reports the first violation as a
+// field-path error, e.g. "serve/cluster: GPUTiers: len 3 != Shards 2".
+func (c Config) Validate() error {
+	return c.withDefaults().validate()
+}
+
+func (c Config) validate() error {
+	fail := func(field, format string, args ...any) error {
+		return fmt.Errorf("serve/cluster: %s: %s", field, fmt.Sprintf(format, args...))
+	}
+	if err := c.Base.Validate(); err != nil {
+		return fmt.Errorf("serve/cluster: Base: %w", err)
+	}
+	if c.HopLatency < 0 {
+		return fail("HopLatency", "must be non-negative, got %v", c.HopLatency)
+	}
+	if len(c.GPUTiers) != 1 && len(c.GPUTiers) != c.Shards {
+		return fail("GPUTiers", "len %d != Shards %d (or 1 for a homogeneous cluster)", len(c.GPUTiers), c.Shards)
+	}
+	for i, name := range c.GPUTiers {
+		if _, err := gpumodel.TierByName(name); err != nil {
+			return fail(fmt.Sprintf("GPUTiers[%d]", i), "%v", err)
+		}
+	}
+	if m := c.Migration; m.QueueDepth > 0 {
+		if m.QueueDepth < 0 || m.MinGain < 0 {
+			return fail("Migration.MinGain", "must be non-negative, got %d", m.MinGain)
+		}
+	} else if m.QueueDepth < 0 {
+		return fail("Migration.QueueDepth", "must be non-negative, got %d", m.QueueDepth)
+	}
+	if a := c.Autoscale; a.Enabled {
+		if a.Min < 0 {
+			return fail("Autoscale.Min", "must be non-negative, got %d", a.Min)
+		}
+		if a.Max < a.Min {
+			return fail("Autoscale.Max", "%d below Min %d", a.Max, a.Min)
+		}
+		if a.P99 < 0 {
+			return fail("Autoscale.P99", "must be non-negative, got %v", a.P99)
+		}
+	}
+	return nil
+}
+
+// controlled reports whether any control policy needs the tick grid.
+func (c Config) controlled() bool {
+	return c.Autoscale.Enabled || c.Migration.QueueDepth > 0
+}

@@ -1,0 +1,215 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/serve"
+)
+
+// ShardBook is one shard's share of the cluster outcome: its tier, the
+// streams it owned when the scenario ended, its rental cost and its
+// full single-fleet Result (whose PerStream rows cover the entire
+// stream space — streams the shard never served show zero rows, so the
+// books partition the cluster totals exactly).
+type ShardBook struct {
+	Shard int    `json:"shard"`
+	Tier  string `json:"tier"`
+	// Streams are the stream indices owned by this shard at the end of
+	// the scenario (migrations included), ascending.
+	Streams []int `json:"streams"`
+	// Cost is the shard's modeled rental in dollars: the capacity
+	// integral ∫ executors(t) dt times the tier's per-second price. For
+	// a never-resized shard the integral is Executors times the shard
+	// makespan.
+	Cost   float64       `json:"cost_dollars"`
+	Result *serve.Result `json:"result"`
+}
+
+// Result is the merged outcome of one cluster scenario: plain data with
+// a deterministic JSON encoding, byte-identical across reruns and
+// Base.StepWorkers settings.
+type Result struct {
+	// Scenario identity: the Base headline plus the cluster topology.
+	System              string            `json:"system"`
+	Preset              string            `json:"preset"`
+	Seed                int64             `json:"seed"`
+	Streams             int               `json:"streams"`
+	FPS                 float64           `json:"fps"`
+	Arrivals            serve.ArrivalKind `json:"arrivals"`
+	Duration            float64           `json:"duration_s"`
+	Executors           int               `json:"executors"`
+	Shards              int               `json:"shards"`
+	VirtualNodes        int               `json:"virtual_nodes"`
+	PlacementLoadFactor float64           `json:"placement_load_factor"`
+	HopLatency          float64           `json:"hop_latency_s"`
+	GPUTiers            []string          `json:"gpu_tiers"`
+	Migration           *Migration        `json:"migration,omitempty"`
+	Autoscale           *Autoscale        `json:"autoscale,omitempty"`
+
+	// Fleet aggregates every stream across every shard; PerStream is
+	// indexed by stream and merges each stream's rows across shards
+	// (latency percentiles are recomputed from the union of served
+	// latencies, not averaged from shard summaries).
+	Fleet     serve.StreamStats   `json:"fleet"`
+	PerStream []serve.StreamStats `json:"per_stream"`
+
+	// Control-plane totals.
+	Migrations int `json:"migrations"`
+	Resizes    int `json:"resizes"`
+
+	PerShard []ShardBook `json:"per_shard"`
+
+	// Cost sums the shard rentals; ServedPerDollar is the cluster's
+	// economic headline, Fleet.Served/Cost (0 when the cost is 0).
+	Cost            float64 `json:"cost_dollars"`
+	ServedPerDollar float64 `json:"served_per_dollar"`
+
+	// LastEventAt is the cluster makespan: the latest shard makespan.
+	LastEventAt float64 `json:"last_event_at_s"`
+}
+
+// merge folds the per-shard books into the cluster Result. Called with
+// r.mu held; books is indexed by shard.
+func (r *Router) merge(books []*serve.Result) *Result {
+	cfg := r.cfg
+	base := books[0]
+	res := &Result{
+		System:              base.System,
+		Preset:              base.Preset,
+		Seed:                base.Seed,
+		Streams:             base.Streams,
+		FPS:                 base.FPS,
+		Arrivals:            base.Arrivals,
+		Duration:            base.Duration,
+		Executors:           base.Executors,
+		Shards:              cfg.Shards,
+		VirtualNodes:        cfg.VirtualNodes,
+		PlacementLoadFactor: cfg.PlacementLoadFactor,
+		HopLatency:          cfg.HopLatency,
+		GPUTiers:            append([]string(nil), cfg.GPUTiers...),
+		Migrations:          r.migrations,
+		Resizes:             r.resizes,
+		PerStream:           make([]serve.StreamStats, cfg.Base.Streams),
+		PerShard:            make([]ShardBook, len(books)),
+	}
+	if cfg.Migration.QueueDepth > 0 {
+		m := cfg.Migration
+		res.Migration = &m
+	}
+	if cfg.Autoscale.Enabled {
+		a := cfg.Autoscale
+		res.Autoscale = &a
+	}
+	for _, b := range books {
+		if b.LastEventAt > res.LastEventAt {
+			res.LastEventAt = b.LastEventAt
+		}
+	}
+	for s, b := range books {
+		seconds := b.ExecutorSeconds
+		if b.Resizes == 0 && !cfg.Autoscale.Enabled {
+			seconds = float64(b.Executors) * b.LastEventAt
+		}
+		cost := seconds * r.tiers[s].DollarsPerSecond()
+		var owned []int
+		for stream, o := range r.owner {
+			if o == s {
+				owned = append(owned, stream)
+			}
+		}
+		res.PerShard[s] = ShardBook{
+			Shard:   s,
+			Tier:    r.tiers[s].Name,
+			Streams: owned,
+			Cost:    cost,
+			Result:  b,
+		}
+		res.Cost += cost
+	}
+	var all []float64
+	for i := range res.PerStream {
+		row := &res.PerStream[i]
+		for _, b := range books {
+			sr := b.PerStream[i]
+			row.ID = sr.ID
+			row.Arrived += sr.Arrived
+			row.Served += sr.Served
+			row.DroppedQueue += sr.DroppedQueue
+			row.DroppedStale += sr.DroppedStale
+			row.DroppedPoison += sr.DroppedPoison
+			row.Reconnects += sr.Reconnects
+			row.Degraded += sr.Degraded
+		}
+		row.Latency = serve.Summarize(r.lat[i])
+		all = append(all, r.lat[i]...)
+		if res.LastEventAt > 0 {
+			row.Throughput = float64(row.Served) / res.LastEventAt
+		}
+		if row.Arrived > 0 {
+			row.DropRate = float64(row.DroppedQueue+row.DroppedStale) / float64(row.Arrived)
+		}
+		fl := &res.Fleet
+		fl.Arrived += row.Arrived
+		fl.Served += row.Served
+		fl.DroppedQueue += row.DroppedQueue
+		fl.DroppedStale += row.DroppedStale
+		fl.DroppedPoison += row.DroppedPoison
+		fl.Reconnects += row.Reconnects
+		fl.Degraded += row.Degraded
+	}
+	res.Fleet.ID = "cluster"
+	res.Fleet.Latency = serve.Summarize(all)
+	if res.LastEventAt > 0 {
+		res.Fleet.Throughput = float64(res.Fleet.Served) / res.LastEventAt
+	}
+	if res.Fleet.Arrived > 0 {
+		res.Fleet.DropRate = float64(res.Fleet.DroppedQueue+res.Fleet.DroppedStale) / float64(res.Fleet.Arrived)
+	}
+	if res.Cost > 0 {
+		res.ServedPerDollar = float64(res.Fleet.Served) / res.Cost
+	}
+	return res
+}
+
+// ms renders seconds as milliseconds for the text report.
+func ms(s float64) string { return fmt.Sprintf("%.1fms", 1000*s) }
+
+// WriteText prints the human-readable cluster report. Like the JSON it
+// is byte-identical across reruns of the same Config.
+func (r *Result) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "system:      %s\n", r.System)
+	fmt.Fprintf(w, "load:        %d streams x %.1f fps (%s), %.1fs, preset %s, seed %d\n",
+		r.Streams, r.FPS, r.Arrivals, r.Duration, r.Preset, r.Seed)
+	mig := "off"
+	if r.Migration != nil {
+		mig = fmt.Sprintf("depth>=%d (cooldown %.1fs, max %d/stream)",
+			r.Migration.QueueDepth, r.Migration.Cooldown, r.Migration.MaxPerStream)
+	}
+	auto := "off"
+	if r.Autoscale != nil {
+		auto = fmt.Sprintf("[%d,%d] execs, tick %.2fs, up@depth>=%d, down after %d idle",
+			r.Autoscale.Min, r.Autoscale.Max, r.Autoscale.Interval, r.Autoscale.UpQueue, r.Autoscale.DownIdle)
+	}
+	fmt.Fprintf(w, "cluster:     %d shards (vnodes %d, load factor %.2f, hop %s), tiers %v\n",
+		r.Shards, r.VirtualNodes, r.PlacementLoadFactor, ms(r.HopLatency), r.GPUTiers)
+	fmt.Fprintf(w, "control:     migration %s; autoscale %s\n", mig, auto)
+	fl := r.Fleet
+	fmt.Fprintf(w, "served:      %d/%d frames (throughput %.1f fps, drop rate %.1f%%, degraded %d); %d migrations, %d resizes\n",
+		fl.Served, fl.Arrived, fl.Throughput, 100*fl.DropRate, fl.Degraded, r.Migrations, r.Resizes)
+	fmt.Fprintf(w, "latency:     p50 %s  p95 %s  p99 %s  max %s  (mean %s)\n",
+		ms(fl.Latency.P50), ms(fl.Latency.P95), ms(fl.Latency.P99), ms(fl.Latency.Max), ms(fl.Latency.Mean))
+	fmt.Fprintf(w, "economics:   $%.4f total, %.1f served frames per dollar; makespan %.2fs\n",
+		r.Cost, r.ServedPerDollar, r.LastEventAt)
+	fmt.Fprintln(w, "per-shard:")
+	for _, b := range r.PerShard {
+		fmt.Fprintf(w, "  shard-%d (%s)%*s served %4d/%-4d  util %5.1f%%  $%.4f  streams %v\n",
+			b.Shard, b.Tier, 8-len(b.Tier), "", b.Result.Fleet.Served, b.Result.Fleet.Arrived,
+			100*b.Result.Utilization, b.Cost, b.Streams)
+	}
+	fmt.Fprintln(w, "per-stream:")
+	for _, st := range r.PerStream {
+		fmt.Fprintf(w, "  %-18s served %4d/%-4d  drop %5.1f%%  p50 %8s  p99 %8s\n",
+			st.ID, st.Served, st.Arrived, 100*st.DropRate, ms(st.Latency.P50), ms(st.Latency.P99))
+	}
+}

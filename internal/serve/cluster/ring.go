@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// fnv64a is the 64-bit FNV-1a hash with a murmur-style finalizer,
+// inlined so placement never depends on stdlib internals changing. Raw
+// FNV-1a avalanches poorly into the high bits on short sequential keys
+// like "stream-7" — the ring orders points by the full 64-bit value, so
+// without the finalizer whole shard neighborhoods end up empty.
+func fnv64a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// ring is a consistent-hash ring: every shard contributes vnodes points
+// and a key is owned by the first point at or after its hash (wrapping).
+// Points sort by (hash, shard) so equal hashes — astronomically rare
+// but possible — still order deterministically.
+type ring struct {
+	hashes []uint64
+	shards []int
+	n      int // shard count
+}
+
+func newRing(shards, vnodes int) *ring {
+	r := &ring{
+		hashes: make([]uint64, 0, shards*vnodes),
+		shards: make([]int, 0, shards*vnodes),
+		n:      shards,
+	}
+	type point struct {
+		h     uint64
+		shard int
+	}
+	pts := make([]point, 0, shards*vnodes)
+	for s := 0; s < shards; s++ {
+		for v := 0; v < vnodes; v++ {
+			pts = append(pts, point{fnv64a(fmt.Sprintf("shard-%d-vnode-%d", s, v)), s})
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].h != pts[j].h {
+			return pts[i].h < pts[j].h
+		}
+		return pts[i].shard < pts[j].shard
+	})
+	for _, p := range pts {
+		r.hashes = append(r.hashes, p.h)
+		r.shards = append(r.shards, p.shard)
+	}
+	return r
+}
+
+// start returns the ring index owning the key's hash.
+func (r *ring) start(key string) int {
+	h := fnv64a(key)
+	i := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	if i == len(r.hashes) {
+		i = 0
+	}
+	return i
+}
+
+// owner returns the shard owning the key.
+func (r *ring) owner(key string) int {
+	return r.shards[r.start(key)]
+}
+
+// walk returns the distinct shards in ring order starting from the
+// key's owner: the preference order for load-aware placement overflow.
+func (r *ring) walk(key string) []int {
+	order := make([]int, 0, r.n)
+	seen := make([]bool, r.n)
+	for i, k := r.start(key), 0; k < len(r.hashes) && len(order) < r.n; k++ {
+		s := r.shards[(i+k)%len(r.hashes)]
+		if !seen[s] {
+			seen[s] = true
+			order = append(order, s)
+		}
+	}
+	return order
+}
+
+// streamKey is the ring key of a stream; the books and tests key
+// placement on the same string.
+func streamKey(stream int) string { return fmt.Sprintf("stream-%d", stream) }
+
+// place assigns every stream an initial shard: its hash home unless the
+// home already holds cap streams, in which case the ring walk finds the
+// next shard under the cap. cap is ceil(factor*streams/shards); homes
+// and owners are returned separately because off-home placement pays
+// the hop latency.
+func place(r *ring, streams int, factor float64) (home, owner []int) {
+	home = make([]int, streams)
+	owner = make([]int, streams)
+	capPer := (streams + r.n - 1) / r.n // ceil(streams/shards)
+	capPer = int(float64(capPer) * factor)
+	if capPer < 1 {
+		capPer = 1
+	}
+	counts := make([]int, r.n)
+	for i := 0; i < streams; i++ {
+		key := streamKey(i)
+		home[i] = r.owner(key)
+		owner[i] = home[i]
+		if counts[home[i]] >= capPer {
+			for _, s := range r.walk(key) {
+				if counts[s] < capPer {
+					owner[i] = s
+					break
+				}
+			}
+		}
+		counts[owner[i]]++
+	}
+	return home, owner
+}

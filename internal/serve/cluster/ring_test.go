@@ -1,0 +1,101 @@
+package cluster
+
+import "testing"
+
+// TestRingDeterministicAndStable pins the placement hash: the same
+// topology always yields the same owners, and growing the cluster by
+// one shard moves only a fraction of the keys (the consistent-hashing
+// point).
+func TestRingDeterministicAndStable(t *testing.T) {
+	const keys = 256
+	r4a, r4b, r5 := newRing(4, 64), newRing(4, 64), newRing(5, 64)
+	moved := 0
+	for i := 0; i < keys; i++ {
+		k := streamKey(i)
+		if r4a.owner(k) != r4b.owner(k) {
+			t.Fatalf("ring owner for %s not deterministic", k)
+		}
+		if r4a.owner(k) != r5.owner(k) {
+			moved++
+		}
+	}
+	// Ideal consistent hashing moves ~1/5 of the keys when going 4->5
+	// shards; modulo hashing would move ~4/5. Split the difference.
+	if moved > keys/2 {
+		t.Errorf("%d/%d keys moved adding one shard — placement is not consistent", moved, keys)
+	}
+	if moved == 0 {
+		t.Error("no key moved adding a shard — the new shard owns nothing")
+	}
+}
+
+// TestRingCoverage pins that every shard owns at least one of a modest
+// key population (vnodes spread the ring).
+func TestRingCoverage(t *testing.T) {
+	const shards = 8
+	r := newRing(shards, 64)
+	owned := make([]int, shards)
+	for i := 0; i < 512; i++ {
+		owned[r.owner(streamKey(i))]++
+	}
+	for s, n := range owned {
+		if n == 0 {
+			t.Errorf("shard %d owns no stream of 512", s)
+		}
+	}
+}
+
+// TestRingWalk pins the overflow preference order: it starts at the
+// key's owner, visits every shard exactly once, and is deterministic.
+func TestRingWalk(t *testing.T) {
+	r := newRing(4, 16)
+	for i := 0; i < 32; i++ {
+		k := streamKey(i)
+		w := r.walk(k)
+		if len(w) != 4 {
+			t.Fatalf("walk(%s) = %v, want all 4 shards", k, w)
+		}
+		if w[0] != r.owner(k) {
+			t.Errorf("walk(%s) starts at %d, owner is %d", k, w[0], r.owner(k))
+		}
+		seen := map[int]bool{}
+		for _, s := range w {
+			if seen[s] {
+				t.Fatalf("walk(%s) repeats shard %d", k, s)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+// TestPlacementLoadCap pins the load-aware override: no shard exceeds
+// ceil(factor*streams/shards) when capacity allows, overflow lands on
+// ring-walk successors (charged as off-home), and factor-unconstrained
+// placement equals the raw hash homes.
+func TestPlacementLoadCap(t *testing.T) {
+	r := newRing(4, 64)
+	home, owner := place(r, 64, 1.0)
+	counts := make([]int, 4)
+	for i := range owner {
+		counts[owner[i]]++
+	}
+	for s, n := range counts {
+		if n > 16 {
+			t.Errorf("shard %d holds %d streams, cap is 16", s, n)
+		}
+	}
+	moved := 0
+	for i := range home {
+		if home[i] != owner[i] {
+			moved++
+		}
+	}
+	t.Logf("placement moved %d/64 streams off-home at factor 1.0", moved)
+
+	home, owner = place(r, 64, 100)
+	for i := range home {
+		if home[i] != owner[i] {
+			t.Fatalf("huge load factor still moved stream %d off its home", i)
+		}
+	}
+}

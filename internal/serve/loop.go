@@ -18,10 +18,13 @@ import (
 	"repro/internal/video"
 )
 
-// Event kinds. At equal virtual times completions sort before arrivals,
-// so an executor freed at t can serve a frame arriving at t.
+// Event kinds. At equal virtual times completions sort before resizes
+// and resizes before arrivals, so an executor freed at t can serve a
+// frame arriving at t, and a capacity change effective at t governs
+// that frame's dispatch.
 const (
 	evCompletion = iota
+	evResize
 	evArrival
 )
 
@@ -41,6 +44,9 @@ type event struct {
 	stream, frame int
 	arrive        float64
 	epoch         int
+	// execs is the target executor count of an evResize event (see
+	// Server.ResizeAt); zero and ignored for the other kinds.
+	execs int
 }
 
 type agenda []event
@@ -59,7 +65,10 @@ func (a agenda) Less(i, j int) bool {
 	if a[i].frame != a[j].frame {
 		return a[i].frame < a[j].frame
 	}
-	return a[i].epoch < a[j].epoch
+	if a[i].epoch != a[j].epoch {
+		return a[i].epoch < a[j].epoch
+	}
+	return a[i].execs < a[j].execs
 }
 func (a agenda) Swap(i, j int) { a[i], a[j] = a[j], a[i] }
 func (a *agenda) Push(x any)   { *a = append(*a, x.(event)) }
@@ -108,6 +117,22 @@ func arrivalTimes(cfg Config) [][]float64 {
 				ts = append(ts, t)
 				t += rng.ExpFloat64() / rate
 			}
+		case Burst:
+			// The FixedFPS grid gated through the fleet-wide on/off
+			// square wave: all streams share the window boundaries (a
+			// synchronized rush hour), each keeps its own seeded phase
+			// within it.
+			phase := rng.Float64() / rate
+			on := cfg.BurstDuty * cfg.BurstPeriod
+			for k := 0; ; k++ {
+				t := phase + float64(k)/rate
+				if t >= cfg.Duration {
+					break
+				}
+				if math.Mod(t, cfg.BurstPeriod) < on {
+					ts = append(ts, t)
+				}
+			}
 		default: // FixedFPS
 			phase := rng.Float64() / rate
 			for k := 0; ; k++ {
@@ -154,6 +179,19 @@ type fleet struct {
 	busy    int
 	batches int
 
+	// queued[s] counts stream s's frames currently waiting in the
+	// scheduler (admitted, not yet popped) — the per-stream backlog the
+	// cluster router's migration policy keys on. resized flips on the
+	// first applied evResize; resizes counts them; capInt integrates
+	// the executor-count curve (the capacity a per-executor price
+	// multiplies, and the utilization denominator once capacity is no
+	// longer constant).
+	queued  []int
+	resized bool
+	resizes int
+	capInt  float64
+	execs0  int // Config.Executors at construction (Result identity)
+
 	// workers is Config.StepWorkers: the fan-out width of the step
 	// phase. poolWork feeds the persistent step workers one active
 	// stream index at a time (started lazily on the first parallel
@@ -192,6 +230,7 @@ func newFleet(cfg Config) (*fleet, error) {
 		sink:    cfg.Sink,
 		win:     newLatWindow(cfg.StatsWindow),
 		workers: cfg.StepWorkers,
+		execs0:  cfg.Executors,
 	}
 	if cfg.GPU != nil {
 		f.gpu = *cfg.GPU
@@ -246,6 +285,7 @@ func newFleet(cfg Config) (*fleet, error) {
 	f.seqs = make([]*dataset.Sequence, cfg.Streams)
 	f.sessEpoch = make([]int, cfg.Streams)
 	f.acc = make([]streamAcc, cfg.Streams)
+	f.queued = make([]int, cfg.Streams)
 	for s := 0; s < cfg.Streams; s++ {
 		sys, err := factory()
 		if err != nil {
@@ -288,6 +328,16 @@ func (f *fleet) handle(e event) {
 		f.admit(f.job(e.stream, e.frame, e.arrive, e.epoch))
 	case evCompletion:
 		f.busy--
+	case evResize:
+		// Capacity changes take effect on the virtual clock like any
+		// other event; the dispatch below immediately puts grown
+		// capacity to work on the backlog. Shrinking never preempts a
+		// running batch — busy executors finish and then stay idle.
+		f.resized = true
+		if e.execs != f.cfg.Executors {
+			f.cfg.Executors = e.execs
+			f.resizes++
+		}
 	}
 	f.dispatch()
 }
@@ -307,6 +357,7 @@ func (f *fleet) tick(t float64) {
 	dt := t - f.lastT
 	f.depthInt += dt * float64(f.sched.Len())
 	f.busyInt += dt * float64(f.busy)
+	f.capInt += dt * float64(f.cfg.Executors)
 	f.lastT = t
 	f.now = t
 }
@@ -314,7 +365,9 @@ func (f *fleet) tick(t float64) {
 // admit offers an arriving frame to the scheduler and charges the
 // victim, if the policy evicted one to stay under the cap.
 func (f *fleet) admit(j sched.Job) {
+	f.queued[j.Stream]++
 	if victim, dropped := f.sched.Admit(j); dropped {
+		f.queued[victim.Stream]--
 		f.acc[victim.Stream].droppedQueue++
 		f.emit(Event{
 			Kind: EventDroppedQueue, Stream: victim.Stream, Frame: victim.Frame,
@@ -400,6 +453,7 @@ func (f *fleet) gather() {
 		if !ok {
 			break
 		}
+		f.queued[j.Stream]--
 		if f.cfg.MaxStaleness > 0 && f.now-j.Arrive > f.cfg.MaxStaleness {
 			f.acc[j.Stream].droppedStale++
 			f.emit(Event{
@@ -472,9 +526,13 @@ func (f *fleet) stepRound() {
 // releases them.
 func (f *fleet) startPool() {
 	f.poolWork = make(chan int)
+	// Workers range over a captured copy of the channel: reading the
+	// field would race with closePool nilling it, since nothing orders
+	// a worker's startup read against a later Close.
+	work := f.poolWork
 	for w := 0; w < f.workers; w++ {
 		go func() {
-			for s := range f.poolWork {
+			for s := range work {
 				for _, adm := range f.byStream[s] {
 					f.stepAdmitted(adm)
 				}
@@ -625,10 +683,12 @@ func (f *fleet) noteReconnect(stream, eff int, arrive float64, epoch int) {
 // recent StatsWindow served frames.
 func (f *fleet) stats() Stats {
 	st := Stats{
-		Now:           f.lastT,
-		QueueDepth:    f.sched.Len(),
-		BusyExecutors: f.busy,
-		Window:        f.win.summary(),
+		Now:            f.lastT,
+		QueueDepth:     f.sched.Len(),
+		BusyExecutors:  f.busy,
+		Executors:      f.cfg.Executors,
+		PerStreamQueue: append([]int(nil), f.queued...),
+		Window:         f.win.summary(),
 	}
 	for s := range f.acc {
 		a := &f.acc[s]
@@ -663,7 +723,7 @@ func (f *fleet) result() *Result {
 		StreamFPS:     cfg.StreamFPS,
 		Arrivals:      cfg.Arrivals,
 		Duration:      cfg.Duration,
-		Executors:     cfg.Executors,
+		Executors:     f.execs0,
 		Scheduler:     cfg.Scheduler,
 		Priorities:    cfg.Priorities,
 		BatchSize:     cfg.BatchSize,
@@ -691,6 +751,14 @@ func (f *fleet) result() *Result {
 	if cfg.Chaos.enabled() {
 		ch := cfg.Chaos
 		r.Chaos = &ch
+	}
+	if cfg.Arrivals == Burst {
+		r.BurstPeriod = cfg.BurstPeriod
+		r.BurstDuty = cfg.BurstDuty
+	}
+	if f.resized {
+		r.Resizes = f.resizes
+		r.ExecutorSeconds = f.capInt
 	}
 	if len(f.sessions) > 0 {
 		r.System = f.sessions[0].Name()
@@ -742,7 +810,17 @@ func (f *fleet) result() *Result {
 	}
 	if horizon > 0 {
 		r.AvgQueueDepth = f.depthInt / horizon
-		r.Utilization = f.busyInt / (horizon * float64(cfg.Executors))
+		if f.resized {
+			// Capacity was a step function, not a constant: utilization
+			// is the busy integral over the capacity integral (which can
+			// transiently exceed 1 when a scale-down preempts capacity
+			// under in-flight batches).
+			if f.capInt > 0 {
+				r.Utilization = f.busyInt / f.capInt
+			}
+		} else {
+			r.Utilization = f.busyInt / (horizon * float64(cfg.Executors))
+		}
 	}
 	return r
 }

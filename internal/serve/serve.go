@@ -52,6 +52,12 @@ const (
 	// Poisson draws exponential inter-arrival times with mean 1/FPS
 	// (bursty camera uplinks, network jitter).
 	Poisson ArrivalKind = "poisson"
+	// Burst gates the FixedFPS grid through a fleet-wide on/off square
+	// wave: every stream offers frames at FPS during the first
+	// BurstDuty fraction of each BurstPeriod window and goes silent for
+	// the rest — the synchronized rush-hour/diurnal load shape that
+	// elastic capacity (see serve/cluster) exists to exploit.
+	Burst ArrivalKind = "burst"
 )
 
 // DropKind selects which frame a full queue evicts.
@@ -104,6 +110,13 @@ type Config struct {
 
 	// Arrivals selects the arrival process (default FixedFPS).
 	Arrivals ArrivalKind
+
+	// BurstPeriod and BurstDuty shape the Burst arrival process: each
+	// BurstPeriod-second window offers load only during its first
+	// BurstDuty fraction. Defaults (when Arrivals is Burst) are 2s and
+	// 0.5; both are ignored by the other arrival processes.
+	BurstPeriod float64
+	BurstDuty   float64
 
 	// Duration is the virtual seconds of load offered (default 30).
 	// Frames in flight when the load ends are drained and counted.
@@ -231,6 +244,14 @@ func (c Config) withDefaults() Config {
 	if c.Arrivals == "" {
 		c.Arrivals = FixedFPS
 	}
+	if c.Arrivals == Burst {
+		if c.BurstPeriod <= 0 {
+			c.BurstPeriod = 2
+		}
+		if c.BurstDuty <= 0 {
+			c.BurstDuty = 0.5
+		}
+	}
 	if c.Duration <= 0 {
 		c.Duration = 30
 	}
@@ -270,6 +291,13 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Normalized returns the config as New and Run actually execute it:
+// every unset field replaced by its documented default. Useful for
+// layers that build derived configs (serve/cluster shards every stream
+// of the normalized base across its shard servers) and for asserting
+// what a partially-specified scenario will really run.
+func (c Config) Normalized() Config { return c.withDefaults() }
+
 // Validate checks the config exactly as New and Run would see it
 // (defaults applied to a copy first) and reports the first violation
 // as a field-path error, e.g. "serve: StreamFPS: len 3 != Streams 4".
@@ -296,8 +324,16 @@ func (c Config) validate() error {
 	if c.FPS <= 0 {
 		return fail("FPS", "preset %q has no native rate and FPS is unset", c.Preset.Name)
 	}
-	if c.Arrivals != FixedFPS && c.Arrivals != Poisson {
+	if c.Arrivals != FixedFPS && c.Arrivals != Poisson && c.Arrivals != Burst {
 		return fail("Arrivals", "unknown arrival process %q", c.Arrivals)
+	}
+	if c.Arrivals == Burst {
+		if c.BurstPeriod <= 0 {
+			return fail("BurstPeriod", "must be positive, got %v", c.BurstPeriod)
+		}
+		if c.BurstDuty <= 0 || c.BurstDuty > 1 {
+			return fail("BurstDuty", "outside (0,1], got %v", c.BurstDuty)
+		}
 	}
 	if len(c.StreamFPS) > 0 && len(c.StreamFPS) != c.Streams {
 		return fail("StreamFPS", "len %d != Streams %d", len(c.StreamFPS), c.Streams)
@@ -414,6 +450,8 @@ type Result struct {
 	FPS          float64     `json:"fps"`
 	StreamFPS    []float64   `json:"stream_fps,omitempty"`
 	Arrivals     ArrivalKind `json:"arrivals"`
+	BurstPeriod  float64     `json:"burst_period_s,omitempty"`
+	BurstDuty    float64     `json:"burst_duty,omitempty"`
 	Duration     float64     `json:"duration_s"`
 	Executors    int         `json:"executors"`
 	Scheduler    sched.Kind  `json:"scheduler"`
@@ -448,6 +486,18 @@ type Result struct {
 	// Utilization are all normalized over [0, LastEventAt] — one
 	// shared horizon, so the three metrics are mutually consistent.
 	LastEventAt float64 `json:"last_event_at_s"`
+
+	// Elasticity bookkeeping, present only when Server.ResizeAt ever
+	// ran (a static fleet keeps its historical encoding byte for
+	// byte): Resizes counts applied executor-count changes and
+	// ExecutorSeconds is the capacity integral ∫ executors(t) dt over
+	// the makespan — the quantity a per-executor price multiplies
+	// (see gpumodel.Tier and serve/cluster). Utilization divides the
+	// busy integral by this capacity integral, so it can transiently
+	// exceed 1 when a scale-down preempts capacity under in-flight
+	// batches.
+	Resizes         int     `json:"resizes,omitempty"`
+	ExecutorSeconds float64 `json:"executor_seconds,omitempty"`
 
 	// Batches counts executor dispatches (batched launches); with
 	// BatchSize 1 it equals Fleet.Served.

@@ -348,6 +348,58 @@ func (s *Server) Ingest(src Source) error {
 	}
 }
 
+// AdvanceTo plays every pending event up to and including virtual time
+// t with no new arrival — completions fire, freed executors pull
+// backlog — and moves the clock to t, so a following Stats call
+// reflects the fleet as it stands at t rather than at the last
+// submission. Times at or before the current clock are a no-op. The
+// cluster control plane calls this before reading the saturation
+// signals its migration and autoscale decisions key on.
+func (s *Server) AdvanceTo(t float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		return fmt.Errorf("serve: AdvanceTo: %v is not a finite time", t)
+	}
+	s.f.advanceTo(t)
+	if t > s.f.lastT {
+		s.f.tick(t)
+	}
+	return nil
+}
+
+// ResizeAt schedules the fleet's executor count to become n at virtual
+// time at (the current clock, if at is already past): the elastic
+// capacity knob the cluster autoscaler drives, with any modeled
+// provisioning latency folded into at. Growth puts the new executors
+// to work on the backlog immediately; shrinking never preempts a
+// running batch — busy executors finish their dispatch and then stay
+// idle. n may be 0 (a fully parked shard: frames queue, nothing
+// serves, no capacity accrues in Result.ExecutorSeconds). Once any
+// resize applies, Result reports Resizes/ExecutorSeconds and
+// Utilization switches to the busy-over-capacity-integral form.
+func (s *Server) ResizeAt(n int, at float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if n < 0 {
+		return fmt.Errorf("serve: ResizeAt: executor count %d must be non-negative", n)
+	}
+	if math.IsNaN(at) || math.IsInf(at, 0) {
+		return fmt.Errorf("serve: ResizeAt: %v is not a finite time", at)
+	}
+	if at < s.f.now {
+		at = s.f.now
+	}
+	s.f.agenda.add(event{t: at, kind: evResize, execs: n})
+	return nil
+}
+
 // Stats returns a live snapshot: cumulative totals, current queue
 // depth and busy executors, throughput and drop rate over the elapsed
 // makespan, and latency percentiles over the sliding window of the

@@ -66,10 +66,15 @@ type Stats struct {
 	DroppedPoison int `json:"dropped_poison,omitempty"`
 	Reconnects    int `json:"reconnects,omitempty"`
 	Degraded      int `json:"degraded"`
-	// Instantaneous fleet state: frames waiting in the scheduler and
-	// executors currently serving a launch.
-	QueueDepth    int `json:"queue_depth"`
-	BusyExecutors int `json:"busy_executors"`
+	// Instantaneous fleet state: frames waiting in the scheduler,
+	// executors currently serving a launch, and the current executor
+	// count (equal to Config.Executors until Server.ResizeAt changes
+	// it). PerStreamQueue breaks QueueDepth down by stream — the
+	// backlog signal the cluster router's migration policy keys on.
+	QueueDepth     int   `json:"queue_depth"`
+	BusyExecutors  int   `json:"busy_executors"`
+	Executors      int   `json:"executors"`
+	PerStreamQueue []int `json:"per_stream_queue,omitempty"`
 	// Throughput is Served/Now (frames per second over the makespan so
 	// far); DropRate is (DroppedQueue+DroppedStale)/Arrived.
 	Throughput float64 `json:"throughput_fps"`
