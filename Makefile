@@ -17,9 +17,13 @@ SWEEP_OUT       ?= sweep.txt
 TRACE_OUT       ?= trace.jsonl
 PROFILE_BENCH   ?= BenchmarkServeOverload|BenchmarkServeParallelStep
 STATICCHECK     ?= staticcheck
+# The one place the staticcheck version is pinned: lint-install (used
+# by CI) and the local install hint both read it, so the version CI
+# enforces and the version the hint suggests cannot drift.
+STATICCHECK_VERSION ?= 2024.1.1
 FUZZ_TIME       ?= 20s
 
-.PHONY: all fmt vet lint build test race cover fuzz bench bench-json bench-diff cluster-determinism profile repro sweep trace clean
+.PHONY: all fmt vet lint lint-install lint-det build test race cover fuzz bench bench-json bench-diff cluster-determinism profile repro sweep trace clean
 
 all: fmt vet build test
 
@@ -41,8 +45,22 @@ lint:
 		echo "lint: $(STATICCHECK) not installed and LINT_STRICT is set"; exit 1; \
 	else \
 		echo "lint: $(STATICCHECK) not installed; skipping"; \
-		echo "lint: install with: go install honnef.co/go/tools/cmd/staticcheck@latest"; \
+		echo "lint: install with: make lint-install"; \
 	fi
+
+# Installs the pinned staticcheck (network access required). CI runs
+# this before `make lint LINT_STRICT=1`.
+lint-install:
+	$(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
+
+# Project-specific determinism/hot-path analyzers (internal/lint via
+# cmd/detlint): map-order dependence, wall-clock reads, global
+# math/rand, stray goroutines, allocating constructs in
+# //detlint:allocfree functions, golden JSON schema compatibility.
+# Stdlib-only — no install step, safe to run anywhere the toolchain
+# exists. Fails on any unsuppressed diagnostic.
+lint-det:
+	$(GO) run ./cmd/detlint ./...
 
 build:
 	$(GO) build ./...

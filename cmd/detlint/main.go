@@ -1,0 +1,89 @@
+// detlint is the project's static-analysis driver: it runs the
+// determinism and hot-path analyzers of internal/lint over the given
+// packages (default ./...) and exits non-zero on any unsuppressed
+// diagnostic. `make lint-det` is the canonical invocation; CI gates the
+// repro artifacts on it.
+//
+// Usage:
+//
+//	detlint [-json] [-list] [-dump-golden-baseline] [packages]
+//
+// Findings are suppressed in source with a trailing (or
+// immediately-preceding) comment carrying a mandatory reason:
+//
+//	for k := range m { … } //detlint:ok keys feed a commutative sum
+//
+// Exit status: 0 clean, 1 diagnostics reported, 2 load/usage error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array instead of text")
+	list := flag.Bool("list", false, "list the analyzers and the contract each encodes, then exit")
+	dumpBaseline := flag.Bool("dump-golden-baseline", false,
+		"print the current golden-book baseline (non-omitempty JSON fields) in goldenbaseline.go form, then exit")
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cfg := lint.DefaultConfig()
+	pkgs, err := lint.Load(".", patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	if *dumpBaseline {
+		fmt.Println("var goldenBaseline = map[string]bool{")
+		for _, key := range lint.DumpGoldenBaseline(pkgs, cfg) {
+			fmt.Printf("\t%q: true,\n", key)
+		}
+		fmt.Println("}")
+		return
+	}
+
+	var diags []lint.Diagnostic
+	for _, pkg := range pkgs {
+		diags = append(diags, lint.RunPackage(pkg, cfg, analyzers)...)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "detlint: %d diagnostic(s)\n", len(diags))
+		}
+		os.Exit(1)
+	}
+}

@@ -161,6 +161,8 @@ func (m *Mask) BoxCoverage(b Box) float64 {
 }
 
 // Reset clears all marked cells, retaining the allocation.
+//
+//detlint:allocfree
 func (m *Mask) Reset() {
 	for i := range m.bits {
 		m.bits[i] = 0

@@ -24,6 +24,8 @@ type NMSBuffer struct {
 // (ties keep input order). The returned slice is owned by the buffer
 // and valid until its next call; it aliases no caller memory, so the
 // input is never modified. Steady-state calls allocate nothing.
+//
+//detlint:allocfree
 func (b *NMSBuffer) Indices(dets []Scored, iouThresh float64) []int {
 	if len(dets) == 0 {
 		return nil
@@ -123,9 +125,12 @@ func FilterScore(dets []Scored, thresh float64) []Scored {
 // dst, preserving order, and returns the extended slice — the
 // allocation-free variant of FilterScore for callers that reuse a
 // scratch buffer across frames.
+//
+//detlint:allocfree
 func FilterScoreAppend(dst []Scored, dets []Scored, thresh float64) []Scored {
 	for _, d := range dets {
 		if d.Score >= thresh {
+			//detlint:ok appends into the caller's reused buffer; grows only when dst lacks capacity, per the documented contract
 			dst = append(dst, d)
 		}
 	}

@@ -43,6 +43,8 @@ type Solver struct {
 //
 // cost must hold exactly n*m entries; Solve panics otherwise, since a
 // mis-shaped matrix is a programming error, not an input condition.
+//
+//detlint:allocfree
 func (s *Solver) Solve(cost []float64, n, m int) []int {
 	if len(cost) != n*m {
 		panic("hungarian: cost length does not match n*m")
@@ -170,6 +172,8 @@ func (s *Solver) Solve(cost []float64, n, m int) []int {
 }
 
 // fillNeg resizes buf to n entries of -1, reusing its backing array.
+//
+//detlint:allocfree
 func fillNeg(buf []int, n int) []int {
 	if cap(buf) < n {
 		buf = make([]int, n)
@@ -182,6 +186,8 @@ func fillNeg(buf []int, n int) []int {
 }
 
 // fillZeroF resizes buf to n zeros, reusing its backing array.
+//
+//detlint:allocfree
 func fillZeroF(buf []float64, n int) []float64 {
 	if cap(buf) < n {
 		buf = make([]float64, n)
@@ -194,6 +200,8 @@ func fillZeroF(buf []float64, n int) []float64 {
 }
 
 // fillZeroI resizes buf to n zeros, reusing its backing array.
+//
+//detlint:allocfree
 func fillZeroI(buf []int, n int) []int {
 	if cap(buf) < n {
 		buf = make([]int, n)

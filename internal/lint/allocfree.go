@@ -1,0 +1,320 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AllocFree checks functions annotated with //detlint:allocfree in
+// their doc comment — the PR 5 zero-alloc surfaces whose steady-state
+// budgets are pinned by testing.AllocsPerRun — and rejects allocating
+// constructs in their bodies: new, make, growing append, closures,
+// fmt.* calls, string concatenation, string<->[]byte conversions,
+// &T{...} literals and interface boxing at call sites.
+//
+// Two idioms the hot paths are built on are recognized and exempt:
+//
+//   - the grow-guard: make/append inside an `if cap(buf) < n { … }`
+//     block is the documented cold-path growth of reusable scratch;
+//   - the reuse append: append whose destination is scratch re-sliced
+//     to zero length (`append(s.out[:0], …)` or a variable bound from
+//     `buf[:0]`) refills capacity instead of growing it.
+//
+// Closures invoked directly by defer are also exempt (open-coded
+// defers keep them off the heap). Everything else is a diagnostic:
+// either the construct moves to a cold path, or the site carries a
+// //detlint:ok reason documenting why the allocation budget tolerates
+// it.
+var AllocFree = &Analyzer{
+	Name: "allocfree",
+	Doc:  "functions annotated //detlint:allocfree must not allocate outside grow-guard and scratch-reuse idioms",
+	Run:  runAllocFree,
+}
+
+// allocFreeAnnotation marks a function for checking when it appears as
+// its own line inside the function's doc comment.
+const allocFreeAnnotation = "//detlint:allocfree"
+
+func runAllocFree(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !annotatedAllocFree(fd.Doc) {
+				continue
+			}
+			checkAllocFree(pass, fd)
+		}
+	}
+}
+
+func annotatedAllocFree(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(c.Text) == allocFreeAnnotation {
+			return true
+		}
+	}
+	return false
+}
+
+// allocChecker carries the per-function context: which variables are
+// rebound scratch, which spans are grow-guarded, which closures are
+// deferred.
+type allocChecker struct {
+	pass      *Pass
+	reuseVars map[types.Object]bool
+	guards    []span
+	deferred  map[*ast.FuncLit]bool
+}
+
+type span struct{ lo, hi token.Pos }
+
+func checkAllocFree(pass *Pass, fd *ast.FuncDecl) {
+	c := &allocChecker{
+		pass:      pass,
+		reuseVars: map[types.Object]bool{},
+		deferred:  map[*ast.FuncLit]bool{},
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if len(s.Lhs) != len(s.Rhs) {
+				return true
+			}
+			for i, rhs := range s.Rhs {
+				if !slicedToZero(rhs) {
+					continue
+				}
+				if id, ok := s.Lhs[i].(*ast.Ident); ok {
+					if obj := c.objOf(id); obj != nil {
+						c.reuseVars[obj] = true
+					}
+				}
+			}
+		case *ast.IfStmt:
+			if callsCap(pass, s.Cond) {
+				c.guards = append(c.guards, span{s.Body.Pos(), s.Body.End()})
+			}
+		case *ast.DeferStmt:
+			if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+				c.deferred[fl] = true
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			c.checkCall(e)
+		case *ast.FuncLit:
+			if !c.deferred[e] {
+				c.pass.Report(e.Pos(), "closure in allocfree function %s allocates", fd.Name.Name)
+			}
+		case *ast.UnaryExpr:
+			if e.Op == token.AND {
+				if _, ok := e.X.(*ast.CompositeLit); ok {
+					c.pass.Report(e.Pos(), "&composite literal in allocfree function %s heap-allocates", fd.Name.Name)
+				}
+			}
+		case *ast.BinaryExpr:
+			if e.Op == token.ADD && c.isString(e) && !c.isConst(e) {
+				c.pass.Report(e.Pos(), "string concatenation in allocfree function %s allocates", fd.Name.Name)
+			}
+		case *ast.AssignStmt:
+			if e.Tok == token.ADD_ASSIGN && len(e.Lhs) == 1 && c.isString(e.Lhs[0]) {
+				c.pass.Report(e.Pos(), "string += in allocfree function %s allocates", fd.Name.Name)
+			}
+		}
+		return true
+	})
+}
+
+func (c *allocChecker) checkCall(call *ast.CallExpr) {
+	pass := c.pass
+
+	// Builtins: new, make, append.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := pass.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "new":
+				if !c.guarded(call.Pos()) {
+					pass.Report(call.Pos(), "new allocates; reuse scratch behind a cap grow-guard")
+				}
+			case "make":
+				if !c.guarded(call.Pos()) {
+					pass.Report(call.Pos(), "unguarded make allocates; grow scratch under `if cap(buf) < n` instead")
+				}
+			case "append":
+				if len(call.Args) > 0 && !c.guarded(call.Pos()) && !c.reuseDst(call.Args[0]) {
+					pass.Report(call.Pos(), "append to %s may grow; append into scratch re-sliced to [:0] or grow under a cap guard",
+						types.ExprString(call.Args[0]))
+				}
+			}
+			return
+		}
+	}
+
+	// Conversions: string <-> []byte/[]rune copy their payload.
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to, from := tv.Type, pass.Info.Types[call.Args[0]].Type
+		if from != nil && stringBytesConversion(to, from) && !c.isConst(call.Args[0]) {
+			pass.Report(call.Pos(), "%s conversion copies its payload", types.ExprString(call.Fun))
+		}
+		return
+	}
+
+	// fmt.* — every entry point formats through reflection and
+	// allocates.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pn, ok := pass.Info.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+				pass.Report(call.Pos(), "fmt.%s allocates; hot paths format nothing", sel.Sel.Name)
+				return
+			}
+		}
+	}
+
+	// Interface boxing: a non-constant concrete argument passed to an
+	// interface parameter escapes to the heap.
+	tv, ok := pass.Info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no per-element boxing
+			}
+			if st, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = st.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		atv := pass.Info.Types[arg]
+		if atv.Type == nil || atv.Value != nil || atv.IsNil() || types.IsInterface(atv.Type) {
+			continue
+		}
+		pass.Report(arg.Pos(), "passing %s as %s boxes it into an interface, which allocates",
+			types.ExprString(arg), pt.String())
+	}
+}
+
+func (c *allocChecker) objOf(id *ast.Ident) types.Object {
+	if obj := c.pass.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return c.pass.Info.Uses[id]
+}
+
+func (c *allocChecker) guarded(pos token.Pos) bool {
+	for _, g := range c.guards {
+		if g.lo <= pos && pos < g.hi {
+			return true
+		}
+	}
+	return false
+}
+
+// reuseDst reports whether an append destination is reused scratch:
+// literally `x[:0]`, or a variable bound from such a slice.
+func (c *allocChecker) reuseDst(dst ast.Expr) bool {
+	if slicedToZero(dst) {
+		return true
+	}
+	if id, ok := dst.(*ast.Ident); ok {
+		if obj := c.objOf(id); obj != nil && c.reuseVars[obj] {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *allocChecker) isString(e ast.Expr) bool {
+	tv, ok := c.pass.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func (c *allocChecker) isConst(e ast.Expr) bool {
+	tv, ok := c.pass.Info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// stringBytesConversion reports whether a conversion between to and
+// from crosses the string/[]byte (or []rune) boundary, which copies the
+// payload.
+func stringBytesConversion(to, from types.Type) bool {
+	return (isStringType(to) && isByteOrRuneSlice(from)) ||
+		(isByteOrRuneSlice(to) && isStringType(from))
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	e, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (e.Kind() == types.Uint8 || e.Kind() == types.Int32)
+}
+
+// slicedToZero matches `x[:0]` and `x[0:0]`.
+func slicedToZero(e ast.Expr) bool {
+	s, ok := e.(*ast.SliceExpr)
+	if !ok || s.Slice3 {
+		return false
+	}
+	return zeroOrNil(s.High) && s.High != nil && zeroOrNil(s.Low)
+}
+
+func zeroOrNil(e ast.Expr) bool {
+	if e == nil {
+		return true
+	}
+	lit, ok := e.(*ast.BasicLit)
+	return ok && lit.Value == "0"
+}
+
+// callsCap reports whether the expression tree contains a call to the
+// cap builtin — the shape of the scratch grow-guard condition.
+func callsCap(pass *Pass, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			if b, ok := pass.Info.Uses[id].(*types.Builtin); ok && b.Name() == "cap" {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

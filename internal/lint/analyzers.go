@@ -1,0 +1,13 @@
+package lint
+
+// All returns every analyzer in the suite, in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		MapOrder,
+		WallClock,
+		GlobalRand,
+		GoHygiene,
+		AllocFree,
+		GoldenCompat,
+	}
+}

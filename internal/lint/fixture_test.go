@@ -1,0 +1,219 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Fixtures live under testdata/src/<name>/ and are loaded as the fake
+// import path "fixture/<name>", which fixtureConfig scopes the
+// analyzers to. Expected findings are trailing comments of the form
+//
+//	// want "substring" ["substring" ...]
+//
+// on the offending line; every diagnostic must be wanted and every
+// want must be diagnosed, the same contract as x/tools' analysistest
+// but built on the same stdlib-only loader the driver uses.
+
+var (
+	fixtureMu    sync.Mutex
+	fixtureFset  *token.FileSet
+	fixtureStd   types.Importer
+	fixtureCache = map[string]*Package{}
+)
+
+func fixtureConfig() *Config {
+	return &Config{
+		Deterministic: []string{"fixture/maporder", "fixture/globalrand", "fixture/suppress"},
+		VirtualClock:  []string{"fixture/wallclock"},
+		GoHygiene:     []string{"fixture/gohygiene"},
+		GoAllowed: []string{
+			"fixture/gohygiene.approvedPool",
+			"fixture/gohygiene.(*pool).start",
+		},
+		Golden: []string{"fixture/goldencompat"},
+		GoldenBaseline: map[string]bool{
+			"fixture/goldencompat.Result.Served": true,
+		},
+	}
+}
+
+// loadFixture parses and type-checks testdata/src/<name>. The fileset
+// and stdlib source importer are shared across fixtures so the stdlib
+// is type-checked once per test binary, not once per fixture.
+func loadFixture(t *testing.T, name string) *Package {
+	t.Helper()
+	fixtureMu.Lock()
+	defer fixtureMu.Unlock()
+	if pkg, ok := fixtureCache[name]; ok {
+		return pkg
+	}
+	if fixtureFset == nil {
+		fixtureFset = token.NewFileSet()
+		fixtureStd = importer.ForCompiler(fixtureFset, "source", nil)
+	}
+	dir := filepath.Join("testdata", "src", name)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read fixture dir: %v", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fixtureFset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parse fixture: %v", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("fixture %s has no Go files", name)
+	}
+	pkgPath := "fixture/" + name
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: fixtureStd}
+	tpkg, err := conf.Check(pkgPath, fixtureFset, files, info)
+	if err != nil {
+		t.Fatalf("type-check fixture %s: %v", name, err)
+	}
+	pkg := &Package{PkgPath: pkgPath, Fset: fixtureFset, Files: files, Types: tpkg, Info: info}
+	fixtureCache[name] = pkg
+	return pkg
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)`)
+var wantArgRE = regexp.MustCompile(`"([^"]*)"`)
+
+type wantKey struct {
+	file string
+	line int
+	sub  string
+}
+
+// collectWants extracts every `// want "..."` expectation from the
+// fixture's comments, keyed by the comment's own line.
+func collectWants(pkg *Package) map[wantKey]bool {
+	wants := map[wantKey]bool{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, arg := range wantArgRE.FindAllStringSubmatch(m[1], -1) {
+					wants[wantKey{pos.Filename, pos.Line, arg[1]}] = false
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// runFixture applies the full suite to the fixture under the fixture
+// config and matches diagnostics against the want comments exactly.
+func runFixture(t *testing.T, name string) {
+	t.Helper()
+	pkg := loadFixture(t, name)
+	diags := RunPackage(pkg, fixtureConfig(), All())
+	wants := collectWants(pkg)
+
+	var unexpected []string
+	for _, d := range diags {
+		matched := false
+		for key, used := range wants {
+			if used || key.file != d.File || key.line != d.Line {
+				continue
+			}
+			if strings.Contains(d.Message, key.sub) {
+				wants[key] = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			unexpected = append(unexpected, d.String())
+		}
+	}
+	for _, u := range unexpected {
+		t.Errorf("unexpected diagnostic: %s", u)
+	}
+	var missing []string
+	for key, used := range wants {
+		if !used {
+			missing = append(missing, fmt.Sprintf("%s:%d: no diagnostic containing %q", key.file, key.line, key.sub))
+		}
+	}
+	sort.Strings(missing)
+	for _, m := range missing {
+		t.Errorf("missing diagnostic: %s", m)
+	}
+}
+
+func TestMapOrderFixture(t *testing.T)     { runFixture(t, "maporder") }
+func TestWallClockFixture(t *testing.T)    { runFixture(t, "wallclock") }
+func TestGlobalRandFixture(t *testing.T)   { runFixture(t, "globalrand") }
+func TestGoHygieneFixture(t *testing.T)    { runFixture(t, "gohygiene") }
+func TestAllocFreeFixture(t *testing.T)    { runFixture(t, "allocfree") }
+func TestGoldenCompatFixture(t *testing.T) { runFixture(t, "goldencompat") }
+
+// TestSuppression pins the suppression contract directly (the want
+// mechanism cannot annotate //detlint:ok lines — trailing text would
+// become the reason): reasoned suppressions silence the finding whether
+// trailing or on the line above; a bare //detlint:ok silences nothing
+// and is itself reported.
+func TestSuppression(t *testing.T) {
+	pkg := loadFixture(t, "suppress")
+	diags := RunPackage(pkg, fixtureConfig(), All())
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2:\n%s", len(diags), renderDiags(diags))
+	}
+	// Both surviving findings sit inside func bare: the unsuppressed
+	// map range and the reasonless comment on the same line.
+	byAnalyzer := map[string]Diagnostic{}
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer] = d
+	}
+	mo, ok := byAnalyzer["maporder"]
+	if !ok {
+		t.Fatalf("missing maporder diagnostic:\n%s", renderDiags(diags))
+	}
+	sup, ok := byAnalyzer["suppress"]
+	if !ok {
+		t.Fatalf("missing suppress diagnostic:\n%s", renderDiags(diags))
+	}
+	if mo.Line != sup.Line {
+		t.Errorf("maporder (line %d) and suppress (line %d) should flag the same bare-suppression line", mo.Line, sup.Line)
+	}
+	if !strings.Contains(sup.Message, "needs a reason") {
+		t.Errorf("suppress message = %q, want it to demand a reason", sup.Message)
+	}
+}
+
+func renderDiags(diags []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

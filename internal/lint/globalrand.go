@@ -1,0 +1,53 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GlobalRand forbids the package-level math/rand functions in
+// deterministic packages: they draw from the process-global source,
+// which is shared across every caller (and auto-seeded since Go 1.20),
+// so two runs — or two goroutines — interleave draws unpredictably.
+// Deterministic code injects a seeded *rand.Rand instead, the way
+// arrivalTimes and the chaos transform derive theirs from Config.Seed.
+// rand.New and rand.NewSource are exactly how that injection is built,
+// so they stay legal.
+var GlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc:  "no package-level math/rand draws in deterministic packages; inject a seeded *rand.Rand",
+	Run:  runGlobalRand,
+}
+
+func runGlobalRand(pass *Pass) {
+	if !pkgIn(pass.PkgPath, pass.Config.Deterministic) {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.Info.Uses[id].(*types.PkgName)
+			if !ok || pkgName.Imported().Path() != "math/rand" {
+				return true
+			}
+			// Constructors for injected sources are the sanctioned use;
+			// everything else on the package (Intn, Float64, Perm,
+			// Shuffle, Seed, …) hits the global source.
+			switch sel.Sel.Name {
+			case "New", "NewSource", "NewZipf", "Rand", "Source", "Source64", "Zipf":
+				return true
+			}
+			pass.Report(sel.Pos(),
+				"rand.%s draws from the global math/rand source; use an injected seeded *rand.Rand (rand.New(rand.NewSource(seed)))",
+				sel.Sel.Name)
+			return true
+		})
+	}
+}

@@ -1,0 +1,42 @@
+package lint
+
+import "go/ast"
+
+// GoHygiene flags `go` statements outside the approved worker-pool
+// sites. The PR 7 pool race (workers re-reading a field that Close
+// nils) got in through exactly this door: an unreviewed goroutine in a
+// package whose determinism proof assumes all concurrency is confined
+// to the blessed pools whose ordering barriers are documented. New
+// fan-out points are added by listing them in Config.GoAllowed, which
+// makes the addition reviewable in one place.
+var GoHygiene = &Analyzer{
+	Name: "gohygiene",
+	Doc:  "goroutines only at approved worker-pool sites (serve step pool, sim engine) in deterministic packages",
+	Run:  runGoHygiene,
+}
+
+func runGoHygiene(pass *Pass) {
+	if !pkgIn(pass.PkgPath, pass.Config.GoHygiene) {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			fd := enclosingFunc(f, g.Pos())
+			if fd != nil && pass.Config.goAllowed(pass.PkgPath, funcName(fd)) {
+				return true
+			}
+			where := "package scope"
+			if fd != nil {
+				where = funcName(fd)
+			}
+			pass.Report(g.Pos(),
+				"go statement in %s is outside the approved worker-pool sites; route the work through an approved pool or add the site to lint.Config.GoAllowed",
+				where)
+			return true
+		})
+	}
+}

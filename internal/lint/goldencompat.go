@@ -1,0 +1,175 @@
+package lint
+
+import (
+	"go/ast"
+	"reflect"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// GoldenCompat guards the committed golden serving books: in the
+// packages that marshal them (serve, serve/cluster), every exported
+// struct field that reaches JSON must either carry omitempty or belong
+// to the frozen baseline schema in Config.GoldenBaseline. A new
+// always-present field changes the marshalled bytes of every golden
+// fixture and every byte-identity determinism test at once; omitempty
+// keeps the field invisible until a scenario actually exercises it —
+// the rule that let PR 6 and PR 7 extend the books without touching a
+// single golden. Exported fields without any json tag are also flagged:
+// encoding/json marshals them under the field name, silently entering
+// the schema.
+var GoldenCompat = &Analyzer{
+	Name: "goldencompat",
+	Doc:  "new JSON fields in golden-book structs must be omitempty (baseline schema is frozen in config)",
+	Run:  runGoldenCompat,
+}
+
+func runGoldenCompat(pass *Pass) {
+	pkgSuffix := ""
+	for _, s := range pass.Config.Golden {
+		if pkgMatch(pass.PkgPath, s) {
+			pkgSuffix = s
+			break
+		}
+	}
+	if pkgSuffix == "" {
+		return
+	}
+	forEachGoldenField(pass, func(structName string, field *ast.Field, name string, tagName string, hasTag, omitempty bool) {
+		key := pkgSuffix + "." + structName + "." + name
+		if pass.Config.GoldenBaseline[key] {
+			return
+		}
+		if !hasTag {
+			pass.Report(field.Pos(),
+				"exported field %s.%s has no json tag and marshals as %q, silently extending the golden schema; tag it (with omitempty) or json:\"-\"",
+				structName, name, name)
+			return
+		}
+		if !omitempty {
+			pass.Report(field.Pos(),
+				"field %s.%s (json %q) is not in the frozen golden baseline and lacks omitempty; a zero value would rewrite every committed golden",
+				structName, name, tagName)
+		}
+	})
+}
+
+// forEachGoldenField visits every exported field of every struct in the
+// package that participates in the JSON schema (structs with at least
+// one json-tagged field). Fields tagged json:"-" are excluded from
+// marshalling and skipped.
+func forEachGoldenField(pass *Pass, visit func(structName string, field *ast.Field, name, tagName string, hasTag, omitempty bool)) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok || !hasJSONTag(st) {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				tagName, hasTag, omitempty, skip := jsonTag(field)
+				if skip {
+					continue
+				}
+				names := field.Names
+				if len(names) == 0 {
+					// Embedded field: marshalled inline (or under the
+					// type name when tagged); visit under the type name.
+					if id := embeddedName(field.Type); id != "" {
+						if !ast.IsExported(id) {
+							continue
+						}
+						visit(ts.Name.Name, field, id, tagName, hasTag, omitempty)
+					}
+					continue
+				}
+				for _, nm := range names {
+					if !ast.IsExported(nm.Name) {
+						continue
+					}
+					visit(ts.Name.Name, field, nm.Name, tagName, hasTag, omitempty)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func hasJSONTag(st *ast.StructType) bool {
+	for _, field := range st.Fields.List {
+		if _, hasTag, _, _ := jsonTag(field); hasTag {
+			return true
+		}
+	}
+	return false
+}
+
+// jsonTag parses a field's json struct tag. skip is true for json:"-".
+func jsonTag(field *ast.Field) (name string, hasTag, omitempty, skip bool) {
+	if field.Tag == nil {
+		return "", false, false, false
+	}
+	raw, err := strconv.Unquote(field.Tag.Value)
+	if err != nil {
+		return "", false, false, false
+	}
+	tag, ok := reflect.StructTag(raw).Lookup("json")
+	if !ok {
+		return "", false, false, false
+	}
+	parts := strings.Split(tag, ",")
+	if parts[0] == "-" && len(parts) == 1 {
+		return "", true, false, true
+	}
+	for _, opt := range parts[1:] {
+		if opt == "omitempty" {
+			omitempty = true
+		}
+	}
+	return parts[0], true, omitempty, false
+}
+
+func embeddedName(t ast.Expr) string {
+	switch e := t.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.StarExpr:
+		return embeddedName(e.X)
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	}
+	return ""
+}
+
+// DumpGoldenBaseline returns the sorted baseline keys for the current
+// tree: every golden-schema field that marshals without omitempty.
+// cmd/detlint -dump-golden-baseline prints them in the form pasted into
+// goldenbaseline.go, making a deliberate schema extension a one-command
+// regeneration instead of hand-bookkeeping.
+func DumpGoldenBaseline(pkgs []*Package, cfg *Config) []string {
+	var keys []string
+	for _, pkg := range pkgs {
+		pkgSuffix := ""
+		for _, s := range cfg.Golden {
+			if pkgMatch(pkg.PkgPath, s) {
+				pkgSuffix = s
+				break
+			}
+		}
+		if pkgSuffix == "" {
+			continue
+		}
+		pass := &Pass{Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Types, Info: pkg.Info, PkgPath: pkg.PkgPath, Config: cfg}
+		forEachGoldenField(pass, func(structName string, _ *ast.Field, name, _ string, hasTag, omitempty bool) {
+			if hasTag && !omitempty {
+				keys = append(keys, pkgSuffix+"."+structName+"."+name)
+			}
+		})
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,246 @@
+// Package lint is the project's static-analysis framework: a small,
+// stdlib-only (go/ast, go/parser, go/types, go/token) multichecker that
+// encodes the repo's determinism and hot-path contracts as analyzers
+// instead of trusting runtime tests to happen to exercise the offending
+// path. cmd/detlint is the command-line driver; `make lint-det` runs it
+// over ./... and CI gates the repro artifacts on it.
+//
+// Suppression: a finding is silenced by a comment on the flagged line,
+// or on the line directly above it, of the form
+//
+//	//detlint:ok <reason>
+//
+// The reason is mandatory — a bare //detlint:ok is itself reported —
+// so every accepted violation documents why it is safe. The allocfree
+// analyzer is opt-in per function via a //detlint:allocfree annotation
+// in the function's doc comment.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: an analyzer name, a position and a
+// human-readable message.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Col      int            `json:"col"`
+	Message  string         `json:"message"`
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named check. Run inspects the package behind pass and
+// reports findings via pass.Report.
+type Analyzer struct {
+	Name string
+	// Doc is the one-line contract the analyzer encodes, shown by
+	// `detlint -list`.
+	Doc string
+	Run func(pass *Pass)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// PkgPath is the import path ("repro/internal/serve").
+	PkgPath string
+	Config  *Config
+
+	diags *[]Diagnostic
+}
+
+// Report records a finding at pos.
+func (p *Pass) Report(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	PkgPath string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// RunPackage applies every analyzer to pkg under cfg, then filters the
+// findings through the //detlint:ok suppression comments. Suppressions
+// without a reason are reported as findings of the "suppress" pseudo
+// analyzer and cannot themselves be suppressed. Diagnostics come back
+// sorted by file, line, column, analyzer.
+func RunPackage(pkg *Package, cfg *Config, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			PkgPath:  pkg.PkgPath,
+			Config:   cfg,
+			diags:    &diags,
+		}
+		a.Run(pass)
+	}
+
+	sup := collectSuppressions(pkg)
+	kept := diags[:0]
+	for _, d := range diags {
+		if s, ok := sup.lookup(d.File, d.Line); ok && s.reason != "" {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	diags = kept
+
+	// A suppression with no reason is a contract violation in its own
+	// right: the comment's entire value is the documented why.
+	for _, s := range sup.all {
+		if s.reason == "" {
+			pos := pkg.Fset.Position(s.pos)
+			diags = append(diags, Diagnostic{
+				Analyzer: "suppress",
+				Pos:      pos,
+				File:     pos.Filename,
+				Line:     pos.Line,
+				Col:      pos.Column,
+				Message:  "//detlint:ok needs a reason (//detlint:ok <why this is safe>)",
+			})
+		}
+	}
+
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// okPrefix introduces a suppression comment; annotation comments such
+// as //detlint:allocfree share the namespace but are not suppressions.
+const okPrefix = "//detlint:ok"
+
+type suppression struct {
+	pos    token.Pos
+	reason string
+}
+
+// suppressions indexes //detlint:ok comments by file and line.
+type suppressions struct {
+	byLine map[string]map[int]suppression
+	all    []suppression
+}
+
+// lookup finds a suppression covering line: one on the line itself
+// (trailing comment) or on the line directly above it.
+func (s suppressions) lookup(file string, line int) (suppression, bool) {
+	m := s.byLine[file]
+	if sup, ok := m[line]; ok {
+		return sup, true
+	}
+	sup, ok := m[line-1]
+	return sup, ok
+}
+
+func collectSuppressions(pkg *Package) suppressions {
+	out := suppressions{byLine: make(map[string]map[int]suppression)}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, okPrefix) {
+					continue
+				}
+				rest := text[len(okPrefix):]
+				// Require a word boundary so //detlint:okay or a future
+				// //detlint:ok-foo directive is not misread.
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue
+				}
+				sup := suppression{pos: c.Pos(), reason: strings.TrimSpace(rest)}
+				pos := pkg.Fset.Position(c.Pos())
+				m := out.byLine[pos.Filename]
+				if m == nil {
+					m = make(map[int]suppression)
+					out.byLine[pos.Filename] = m
+				}
+				m[pos.Line] = sup
+				out.all = append(out.all, sup)
+			}
+		}
+	}
+	return out
+}
+
+// funcName renders the qualified name of a declaration the way config
+// allowlists spell it: "Func" for plain functions, "(*Recv).Method" or
+// "Recv.Method" for methods.
+func funcName(decl *ast.FuncDecl) string {
+	if decl.Recv == nil || len(decl.Recv.List) == 0 {
+		return decl.Name.Name
+	}
+	recv := decl.Recv.List[0].Type
+	switch t := recv.(type) {
+	case *ast.StarExpr:
+		if id, ok := t.X.(*ast.Ident); ok {
+			return "(*" + id.Name + ")." + decl.Name.Name
+		}
+	case *ast.Ident:
+		return t.Name + "." + decl.Name.Name
+	case *ast.IndexExpr: // generic receiver
+		if id, ok := t.X.(*ast.Ident); ok {
+			return id.Name + "." + decl.Name.Name
+		}
+	}
+	return decl.Name.Name
+}
+
+// enclosingFunc returns the innermost FuncDecl in file whose body spans
+// pos, or nil.
+func enclosingFunc(file *ast.File, pos token.Pos) *ast.FuncDecl {
+	var found *ast.FuncDecl
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		if fd.Pos() <= pos && pos < fd.End() {
+			found = fd
+		}
+	}
+	return found
+}

@@ -1,0 +1,210 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// listedPkg is the slice of `go list -json` output the loader needs.
+type listedPkg struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	GoFiles    []string
+	Imports    []string
+	Module     *struct{ Path string }
+}
+
+// Load enumerates the packages matching patterns with `go list`, parses
+// their (non-test) sources and type-checks them in dependency order.
+// Intra-module imports resolve against the packages being checked;
+// stdlib imports type-check from GOROOT source, so the loader works on
+// a bare toolchain with no export data and no third-party dependencies
+// — the same zero-dependency constraint the module itself keeps.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	// Close over intra-module imports that the patterns missed, so a
+	// single-package invocation still type-checks.
+	byPath := map[string]*listedPkg{}
+	for i := range listed {
+		byPath[listed[i].ImportPath] = &listed[i]
+	}
+	modPath := ""
+	for _, p := range listed {
+		if p.Module != nil {
+			modPath = p.Module.Path
+			break
+		}
+	}
+	for {
+		var missing []string
+		for _, p := range byPath {
+			for _, imp := range p.Imports {
+				if modPath != "" && inModule(imp, modPath) && byPath[imp] == nil {
+					missing = append(missing, imp)
+				}
+			}
+		}
+		if len(missing) == 0 {
+			break
+		}
+		sort.Strings(missing)
+		more, err := goList(dir, missing)
+		if err != nil {
+			return nil, err
+		}
+		for i := range more {
+			byPath[more[i].ImportPath] = &more[i]
+		}
+	}
+
+	order, err := topoOrder(byPath)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	imp := &moduleImporter{
+		std:   importer.ForCompiler(fset, "source", nil),
+		local: map[string]*types.Package{},
+	}
+
+	var pkgs []*Package
+	for _, path := range order {
+		lp := byPath[path]
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("lint: parse: %w", err)
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(path, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("lint: type-check %s: %w", path, err)
+		}
+		imp.local[path] = tpkg
+		pkgs = append(pkgs, &Package{
+			PkgPath: path,
+			Fset:    fset,
+			Files:   files,
+			Types:   tpkg,
+			Info:    info,
+		})
+	}
+	return pkgs, nil
+}
+
+func goList(dir string, patterns []string) ([]listedPkg, error) {
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %v\n%s", strings.Join(patterns, " "), err, errb.String())
+	}
+	var pkgs []listedPkg
+	dec := json.NewDecoder(&out)
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decode go list output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+func inModule(importPath, modPath string) bool {
+	return importPath == modPath || strings.HasPrefix(importPath, modPath+"/")
+}
+
+// topoOrder sorts the packages so every package follows its
+// intra-module imports, surfacing import cycles as errors (the compiler
+// would reject them anyway, but a lint driver should not hang on bad
+// input).
+func topoOrder(byPath map[string]*listedPkg) ([]string, error) {
+	var order []string
+	state := map[string]int{} // 0 unvisited, 1 in progress, 2 done
+	var visit func(path string) error
+	visit = func(path string) error {
+		switch state[path] {
+		case 1:
+			return fmt.Errorf("lint: import cycle through %s", path)
+		case 2:
+			return nil
+		}
+		state[path] = 1
+		p := byPath[path]
+		var deps []string
+		for _, imp := range p.Imports {
+			if byPath[imp] != nil {
+				deps = append(deps, imp)
+			}
+		}
+		sort.Strings(deps)
+		for _, dep := range deps {
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		state[path] = 2
+		order = append(order, path)
+		return nil
+	}
+	paths := make([]string, 0, len(byPath))
+	for path := range byPath {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		if err := visit(path); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// moduleImporter resolves intra-module imports from the packages
+// type-checked so far (Load's topological order guarantees they exist)
+// and everything else — the stdlib — from source.
+type moduleImporter struct {
+	std   types.Importer
+	local map[string]*types.Package
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.local[path]; ok {
+		return p, nil
+	}
+	return m.std.Import(path)
+}

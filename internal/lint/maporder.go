@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapOrder flags `for … range` over a map in deterministic packages:
+// Go randomizes map iteration order, so any map-order-dependent output
+// breaks the byte-identical books/report contract. The one exempt shape
+// is the collect-and-sort idiom — a loop body that does nothing but
+// append keys/values to a slice (possibly under an if), which is
+// order-independent once the collected slice is sorted; the analyzer
+// trusts the sort because the slice the loop builds is inert until
+// used. Anything else needs sorted keys or a //detlint:ok reason.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "no map-iteration-order dependence in deterministic packages (collect-and-sort is exempt)",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pass *Pass) {
+	if !pkgIn(pass.PkgPath, pass.Config.Deterministic) {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if collectOnly(rng.Body) {
+				return true
+			}
+			pass.Report(rng.Pos(),
+				"range over map %s: iteration order is randomized; collect keys and sort, or suppress with //detlint:ok <reason>",
+				types.ExprString(rng.X))
+			return true
+		})
+	}
+}
+
+// collectOnly reports whether every statement in the block is part of
+// the collect-and-sort idiom: appends into a slice, optionally guarded
+// by if statements, plus bare continues.
+func collectOnly(block *ast.BlockStmt) bool {
+	if len(block.List) == 0 {
+		return false // an empty body ranges for the count; order-free but pointless — not the idiom
+	}
+	for _, stmt := range block.List {
+		if !collectStmt(stmt) {
+			return false
+		}
+	}
+	return true
+}
+
+func collectStmt(stmt ast.Stmt) bool {
+	switch s := stmt.(type) {
+	case *ast.AssignStmt:
+		// x = append(x, …) (or := variant), single assignment only.
+		if len(s.Rhs) != 1 {
+			return false
+		}
+		call, ok := s.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		return ok && fn.Name == "append"
+	case *ast.IfStmt:
+		if !collectOnly(s.Body) {
+			return false
+		}
+		switch e := s.Else.(type) {
+		case nil:
+			return true
+		case *ast.BlockStmt:
+			return collectOnly(e)
+		case *ast.IfStmt:
+			return collectStmt(e)
+		}
+		return false
+	case *ast.BranchStmt:
+		return s.Label == nil // bare continue/break
+	}
+	return false
+}

@@ -1,0 +1,60 @@
+package allocfree
+
+import "fmt"
+
+type point struct{ x, y int }
+
+type buffer struct {
+	ints  []int
+	items []point
+}
+
+func sink(v interface{}) { _ = v }
+
+// hot is annotated: every allocating construct is a diagnostic.
+//
+//detlint:allocfree
+func hot(b *buffer, n int, s, t string) {
+	xs := make([]int, n) // want "unguarded make"
+	_ = xs
+	p := new(point) // want "new allocates"
+	_ = p
+	q := &point{x: 1} // want "heap-allocates"
+	_ = q
+	b.ints = append(b.ints, n)   // want "append to b.ints may grow"
+	f := func() int { return n } // want "closure in allocfree function hot allocates"
+	_ = f
+	_ = fmt.Sprint(n) // want "fmt.Sprint allocates"
+	_ = s + t         // want "string concatenation"
+	_ = []byte(s)     // want "copies its payload"
+	sink(n)           // want "boxes it into an interface"
+}
+
+// reuse exercises every exempt idiom: grow-guarded make, appends into
+// scratch re-sliced to zero, deferred closures, constant interface
+// arguments.
+//
+//detlint:allocfree
+func reuse(b *buffer, pts []point) []point {
+	defer func() { _ = recover() }()
+	if cap(b.ints) < len(pts) {
+		b.ints = make([]int, len(pts))
+	}
+	out := b.items[:0]
+	for i, p := range pts {
+		b.ints[i] = p.x
+		out = append(out, p)
+	}
+	b.items = append(b.items[:0], out...)
+	sink("constant strings live in static data")
+	return out
+}
+
+// cold is not annotated: the analyzer leaves it alone.
+func cold(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}

@@ -1,0 +1,21 @@
+package globalrand
+
+import "math/rand"
+
+func jitter() float64 {
+	return rand.Float64() // want "draws from the global math/rand source"
+}
+
+func pick(n int) int {
+	return rand.Intn(n) // want "draws from the global math/rand source"
+}
+
+func reseed(seed int64) {
+	rand.Seed(seed) // want "draws from the global math/rand source"
+}
+
+// seeded injection is exactly what the rule demands.
+func injected(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}

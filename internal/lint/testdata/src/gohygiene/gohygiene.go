@@ -1,0 +1,34 @@
+package gohygiene
+
+func work() {}
+
+// rogue spawns outside any approved pool site.
+func rogue() {
+	go work() // want "outside the approved worker-pool sites"
+}
+
+func closureRogue() {
+	go func() { // want "outside the approved worker-pool sites"
+		work()
+	}()
+}
+
+// approvedPool is listed in the fixture config's GoAllowed.
+func approvedPool(n int) {
+	for i := 0; i < n; i++ {
+		go work()
+	}
+}
+
+type pool struct{ jobs chan int }
+
+// start is listed as the method form "(*pool).start".
+func (p *pool) start(n int) {
+	for i := 0; i < n; i++ {
+		go func() {
+			for range p.jobs {
+				work()
+			}
+		}()
+	}
+}

@@ -1,0 +1,23 @@
+package goldencompat
+
+// Result mimics a golden-marshalled book: Served is frozen in the
+// fixture baseline, Extra opted into omitempty, the rest violate the
+// schema contract one way each.
+type Result struct {
+	Served  int     `json:"served"`
+	Dropped int     `json:"dropped"` // want "lacks omitempty"
+	Extra   float64 `json:"extra,omitempty"`
+	Ignored int     `json:"-"`
+	Naked   int     // want "has no json tag"
+	hidden  int
+}
+
+// scratch has no json tags anywhere, so it is not part of the
+// marshalled schema and stays unchecked.
+type scratch struct {
+	Buf []int
+	N   int
+}
+
+var _ = Result{hidden: 0}
+var _ = scratch{}

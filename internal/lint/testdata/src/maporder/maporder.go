@@ -1,0 +1,54 @@
+package maporder
+
+import "sort"
+
+// sumValues depends on nothing order-sensitive mathematically, but the
+// analyzer cannot prove commutativity — floating-point folds in this
+// repo are order-sensitive — so a plain value range is flagged.
+func sumValues(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want "range over map"
+		total += v
+	}
+	return total
+}
+
+// firstKey is order-dependent in the most direct way.
+func firstKey(m map[string]int) string {
+	for k := range m { // want "range over map"
+		return k
+	}
+	return ""
+}
+
+// collectAndSort is the blessed idiom: the loop only appends, the sort
+// restores determinism.
+func collectAndSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// collectGuarded appends under a filter, still collection-only.
+func collectGuarded(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k, v := range m {
+		if v > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sliceRange is not a map range at all.
+func sliceRange(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

@@ -1,0 +1,30 @@
+package suppress
+
+// trailing suppression with a reason: silenced.
+func trailing(m map[string]int) int {
+	total := 0
+	for _, v := range m { //detlint:ok integer summation is commutative; order cannot change the total
+		total += v
+	}
+	return total
+}
+
+// suppression on the line above: silenced.
+func above(m map[string]int) int {
+	total := 0
+	//detlint:ok integer summation is commutative; order cannot change the total
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// bare suppression: the finding stays AND the reasonless comment is
+// itself reported.
+func bare(m map[string]int) int {
+	total := 0
+	for _, v := range m { //detlint:ok
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,24 @@
+package wallclock
+
+import "time"
+
+func stamp() float64 {
+	start := time.Now()                // want "time.Now reads the wall clock"
+	time.Sleep(time.Millisecond)       // want "time.Sleep reads the wall clock"
+	return time.Since(start).Seconds() // want "time.Since reads the wall clock"
+}
+
+func waiting(ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-time.After(time.Second): // want "time.After reads the wall clock"
+		return 0
+	}
+}
+
+// durations and conversions are pure arithmetic on the time package's
+// types — legal anywhere.
+func pureDurations(frames int, fps float64) time.Duration {
+	return time.Duration(float64(frames) / fps * float64(time.Second))
+}

@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WallClock forbids reading or sleeping on the machine clock in
+// virtual-clock packages: every timestamp there must derive from the
+// simulated clock (Config.Duration, arrival stamps, AdvanceTo ticks),
+// or reruns stop being byte-identical and CI timing starts leaking
+// into the books.
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "no wall-clock reads (time.Now/Since/Sleep/After/Tick/Timer/Ticker) in virtual-clock packages",
+	Run:  runWallClock,
+}
+
+// wallClockFuncs are the package time entry points that observe or wait
+// on real time. Pure conversions and constructors (time.Duration,
+// time.Unix) stay legal.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+func runWallClock(pass *Pass) {
+	if !pkgIn(pass.PkgPath, pass.Config.VirtualClock) {
+		return
+	}
+	forbiddenPkgFuncs(pass, "time", wallClockFuncs,
+		"time.%s reads the wall clock in a virtual-clock package; derive time from the simulated clock or suppress with //detlint:ok <reason>")
+}
+
+// forbiddenPkgFuncs reports every use of a listed function from the
+// named stdlib package. Resolution goes through the type checker's Uses
+// map, so a local variable or package alias named "time" cannot confuse
+// it.
+func forbiddenPkgFuncs(pass *Pass, pkgPath string, names map[string]bool, format string) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.Info.Uses[id].(*types.PkgName)
+			if !ok || pkgName.Imported().Path() != pkgPath {
+				return true
+			}
+			if names[sel.Sel.Name] {
+				pass.Report(sel.Pos(), format, sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}

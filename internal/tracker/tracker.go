@@ -167,6 +167,8 @@ func (t *Tracker) Tracks() []*Track { return t.tracks }
 // with the tracks' predictions, updates matched tracks, coasts missed
 // tracks, spawns emerging ones and discards tracks whose confidence
 // falls below zero.
+//
+//detlint:allocfree
 func (t *Tracker) Observe(dets []geom.Scored) {
 	defer func() { t.frameCounter++ }()
 	matchedTrack := resetBools(&t.scratch.matchedTrack, len(t.tracks))
@@ -230,6 +232,7 @@ func (t *Tracker) Observe(dets []geom.Scored) {
 			continue
 		}
 		cx, cy := d.Box.Center()
+		//detlint:ok spawning an emerging track is the cold path; steady state spawns none (alloc budget pins 0)
 		tr := &Track{
 			ID: t.nextID, Class: d.Class,
 			X: cx, Y: cy, S: w, R: d.Box.AspectRatio(),
@@ -237,6 +240,7 @@ func (t *Tracker) Observe(dets []geom.Scored) {
 			pvar:       t.cfg.KalmanMeasurementNoise,
 			vvar:       10 * t.cfg.KalmanProcessNoise,
 		}
+		//detlint:ok track-list growth happens only when a track spawns, which is itself cold
 		t.tracks = append(t.tracks, tr)
 		t.nextID++
 		t.recordMatch(tr, d.Box)
@@ -247,6 +251,8 @@ func (t *Tracker) Observe(dets []geom.Scored) {
 // detections. If class is non-nil only that class participates. The
 // candidate index lists, the flat cost matrix and the solver workspace
 // are all reused scratch.
+//
+//detlint:allocfree
 func (t *Tracker) associate(dets []geom.Scored, matchedTrack, matchedDet []bool, class *int) {
 	ti, di := t.scratch.ti[:0], t.scratch.di[:0]
 	for i, tr := range t.tracks {
@@ -292,6 +298,8 @@ func (t *Tracker) associate(dets []geom.Scored, matchedTrack, matchedDet []bool,
 }
 
 // resetBools resizes *buf to n false entries, reusing its backing array.
+//
+//detlint:allocfree
 func resetBools(buf *[]bool, n int) []bool {
 	b := *buf
 	if cap(b) < n {
@@ -370,6 +378,8 @@ func (t *Tracker) Predict() []geom.Scored {
 
 // PredictAppend appends the filtered predictions of Predict to dst and
 // returns the extended slice, allocating only when dst lacks capacity.
+//
+//detlint:allocfree
 func (t *Tracker) PredictAppend(dst []geom.Scored) []geom.Scored {
 	frame := geom.NewBox(0, 0, t.frameW, t.frameH)
 	out := dst
@@ -385,6 +395,7 @@ func (t *Tracker) PredictAppend(dst []geom.Scored) []geom.Scored {
 		if score > 1 {
 			score = 1
 		}
+		//detlint:ok appends into the caller's reused buffer; grows only when dst lacks capacity, per the documented contract
 		out = append(out, geom.Scored{Box: b, Score: score, Class: tr.Class})
 	}
 	return out

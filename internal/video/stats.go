@@ -45,9 +45,7 @@ func Measure(p Preset, seed int64, frames int) WorldStats {
 			cur[o.TrackID] = [2]float64{cx, cy}
 		}
 		prev, cur = cur, prev
-		for id := range cur {
-			delete(cur, id)
-		}
+		clear(cur)
 	}
 	if objects > 0 {
 		st.MeanObjects = float64(objects) / float64(st.Frames)
