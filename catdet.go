@@ -31,6 +31,7 @@ import (
 	"repro/internal/gpumodel"
 	"repro/internal/serve"
 	"repro/internal/serve/cluster"
+	"repro/internal/serve/control"
 	"repro/internal/serve/sched"
 	"repro/internal/sim"
 	"repro/internal/tracker"
@@ -284,6 +285,52 @@ const (
 // ServeConfig.StepWorkers fan-out (the knob that maps the engine's real
 // per-frame CPU work onto physical cores) and on any machine.
 func Serve(cfg ServeConfig) (*ServeResult, error) { return serve.Run(cfg) }
+
+// Adaptive control plane (see internal/serve/control): a Controller
+// observes per-stream sliding-window statistics at virtual-clock
+// control ticks and retunes per-stream policy online — operating mode
+// (full / cascade / proposal-only), effective batch size and EDF
+// deadline budgets. Select it via ServeConfig.Control; the determinism
+// contract is unchanged (same config, byte-identical result).
+type (
+	// ControlConfig selects and parameterizes a controller
+	// (ServeConfig.Control; the zero value is off).
+	ControlConfig = control.Config
+	// ControlKind names a controller implementation.
+	ControlKind = control.Kind
+	// Controller is the control plane's decision procedure, invoked at
+	// every control tick with the current virtual time and fleet view.
+	Controller = control.Controller
+	// ControlPolicy is the per-stream knob set a controller drives.
+	ControlPolicy = control.Policy
+	// ControlAction is one decision of a control tick.
+	ControlAction = control.Action
+	// ControlView is the fleet state a control tick observes.
+	ControlView = control.View
+	// ControlStreamSignal is one stream's sliding-window observation.
+	ControlStreamSignal = control.StreamSignal
+	// StreamMode is a cascade stream's operating mode.
+	StreamMode = control.Mode
+)
+
+// Controllers and per-stream operating modes.
+const (
+	// ControllerNop decides nothing and schedules nothing: a
+	// nop-controlled run is byte-identical to a controller-less one.
+	ControllerNop = control.KindNop
+	// ControllerBaseline is the deterministic seeded hysteresis
+	// controller.
+	ControllerBaseline = control.KindBaseline
+
+	// ModeAuto is the legacy automatic policy (DegradeDepth decides per
+	// admission); ModeFull runs full-frame refinement, ModeCascade the
+	// paper's region-gated cascade, ModeProposal the shed proposal-only
+	// tier.
+	ModeAuto     = control.ModeAuto
+	ModeFull     = control.ModeFull
+	ModeCascade  = control.ModeCascade
+	ModeProposal = control.ModeProposal
+)
 
 // Sharded cluster serving layer: a ClusterRouter partitions one
 // ServeConfig's streams across N shard Servers by consistent hashing

@@ -338,3 +338,46 @@ func TestAblationsRun(t *testing.T) {
 		t.Errorf("no-filter variant cheaper (%v) than baseline (%v)", rows[3].Gops, base.Gops)
 	}
 }
+
+// TestFacadeAdaptivePath exercises the adaptive control plane through
+// the public facade: an overloaded fleet under the baseline controller
+// sheds streams to cheaper modes, the result echoes the controller's
+// activity, and the mode constants carry the documented quality
+// ordering.
+func TestFacadeAdaptivePath(t *testing.T) {
+	res, err := Serve(ServeConfig{
+		Spec: SystemSpec{
+			Kind: CaTDet, Proposal: "resnet10a", Refinement: "resnet50", Cfg: DefaultConfig(),
+		},
+		Preset:    MiniKITTIPreset(),
+		Seed:      1,
+		Streams:   6,
+		FPS:       30,
+		Duration:  3,
+		Executors: 1,
+		QueueCap:  48,
+		Control: ControlConfig{
+			Kind:     ControllerBaseline,
+			Interval: 0.1,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Control == nil || res.Control.Kind != ControllerBaseline {
+		t.Fatalf("result did not echo the controller: %+v", res.Control)
+	}
+	if res.ControlTicks == 0 {
+		t.Error("no control ticks recorded")
+	}
+	if res.ModeSwitches == 0 || res.Fleet.Degraded == 0 {
+		t.Errorf("overloaded adaptive fleet never shed: %d switches, %d degraded",
+			res.ModeSwitches, res.Fleet.Degraded)
+	}
+	if !(ModeFull.Quality() > ModeCascade.Quality() && ModeCascade.Quality() > ModeProposal.Quality()) {
+		t.Error("mode quality weights not ordered full > cascade > proposal")
+	}
+	if ModeAuto.Quality() != ModeCascade.Quality() {
+		t.Error("ModeAuto frames must carry the cascade quality weight")
+	}
+}

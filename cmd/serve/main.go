@@ -9,6 +9,9 @@
 //	serve -streams 8 -executors 2
 //	serve -streams 8 -fps 30 -arrivals poisson -policy drop-oldest -queue-cap 16
 //	serve -streams 16 -executors 2 -stale 0.3 -degrade-depth 8 -json
+//	serve -preset crowd -streams 3 -fps 4 -arrivals poisson -duration 6 \
+//	      -queue-cap 16 -controller baseline -sweep             # adaptive vs static grid
+//	serve -streams 8 -controller baseline -control-tick 0.1     # closed-loop shedding
 //	serve -system single -refinement resnet50 -streams 8 -executors 2
 //	serve -streams 8 -sched fair -batch 4                     # DRR + batched launches
 //	serve -streams 4 -sched priority -priorities 2,2,1,0      # per-stream classes
@@ -39,6 +42,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/serve"
 	"repro/internal/serve/cluster"
+	"repro/internal/serve/control"
 	"repro/internal/serve/sched"
 	"repro/internal/sim"
 	"repro/internal/video"
@@ -74,6 +78,8 @@ func main() {
 	policy := flag.String("policy", "drop-oldest", "queue overflow policy: drop-oldest | drop-newest")
 	stale := flag.Float64("stale", 0, "skip frames older than this many seconds at admission (0 = off)")
 	degradeDepth := flag.Int("degrade-depth", 0, "degrade to proposal-only when this many frames wait behind the admitted one (0 = off)")
+	controller := flag.String("controller", "", "adaptive control plane: nop | baseline (\"\" = off; see internal/serve/control)")
+	controlTick := flag.Float64("control-tick", 0, "control-tick spacing in virtual seconds (0 = controller default; needs -controller)")
 	reconnect := flag.String("reconnect", "reject", "camera reconnect policy: reject | resume-with-gap | reset-session")
 	poison := flag.String("poison", "error", "corrupt-frame policy: error | drop")
 	maxFrame := flag.Int("max-frame", 0, "largest accepted frame index (0 = default bound)")
@@ -137,6 +143,10 @@ func main() {
 		Poison:       serve.PoisonPolicy(*poison),
 		MaxFrame:     *maxFrame,
 		Chaos:        ch,
+		Control: control.Config{
+			Kind:     control.Kind(*controller),
+			Interval: *controlTick,
+		},
 	}
 	as, err := parseAutoscale(*autoscale)
 	if err != nil {
@@ -221,35 +231,98 @@ func main() {
 // and batch size and prints one comparison row per combination. When
 // no -priorities are given, the priority rows default to class 1 for
 // the first half of the streams (so the policy has something to rank).
+// With -controller set, a second block reruns the grid under the
+// adaptive control plane and each static row gains a pareto column:
+// "dom" marks it strictly dominated by an adaptive row on the
+// (quality-weighted served, p99) plane.
 func runSweep(base serve.Config) {
-	fmt.Printf("sweep: %d streams, %d executors, %.1fs, seed %d (same arrivals every row)\n\n",
-		base.Streams, base.Executors, base.Duration, base.Seed)
-	fmt.Println("sched     batch  served/offered  drop%   stale  spread%  p50       p99       tput_fps  util%")
+	type entry struct {
+		kind sched.Kind
+		b    int
+		ctrl string
+		res  *serve.Result
+	}
+	runOne := func(kind sched.Kind, b int, adaptive bool) entry {
+		cfg := base
+		cfg.Scheduler = kind
+		cfg.BatchSize = b
+		if kind == sched.Priority && len(cfg.Priorities) == 0 {
+			cfg.Priorities = make([]int, cfg.Streams)
+			for s := 0; s < cfg.Streams/2; s++ {
+				cfg.Priorities[s] = 1
+			}
+		}
+		ctrl := "-"
+		if adaptive {
+			// The controller owns shedding on its rows; the static
+			// threshold stays with the static rows.
+			ctrl = string(base.Control.Kind)
+			cfg.DegradeDepth = 0
+		} else {
+			cfg.Control = control.Config{}
+		}
+		res, err := serve.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return entry{kind, b, ctrl, res}
+	}
+	var statics, adapts []entry
 	for _, kind := range sweepScheds {
 		for _, b := range sweepBatches {
-			cfg := base
-			cfg.Scheduler = kind
-			cfg.BatchSize = b
-			if kind == sched.Priority && len(cfg.Priorities) == 0 {
-				cfg.Priorities = make([]int, cfg.Streams)
-				for s := 0; s < cfg.Streams/2; s++ {
-					cfg.Priorities[s] = 1
-				}
-			}
-			res, err := serve.Run(cfg)
-			if err != nil {
-				log.Fatal(err)
-			}
-			fl := res.Fleet
-			fmt.Printf("%-9s %5d  %6d/%-7d  %5.1f  %6d  %7.1f  %-8s  %-8s  %8.1f  %5.1f\n",
-				kind, b, fl.Served, fl.Arrived, 100*fl.DropRate, fl.DroppedStale,
-				100*res.DropSpread(), msStr(fl.Latency.P50), msStr(fl.Latency.P99),
-				fl.Throughput, 100*res.Utilization)
+			statics = append(statics, runOne(kind, b, false))
 		}
 	}
-	fmt.Println("\nspread% is max-min per-stream drop rate: lower means the load is")
-	fmt.Println("shed evenly instead of starving the unlucky streams. Batched rows")
-	fmt.Println("pay the per-launch constant b once per batch (alpha*SUM(W) + b).")
+	if base.Control.Active() {
+		for _, kind := range sweepScheds {
+			for _, b := range sweepBatches {
+				adapts = append(adapts, runOne(kind, b, true))
+			}
+		}
+	}
+
+	fmt.Printf("sweep: %d streams, %d executors, %.1fs, seed %d (same arrivals every row)\n\n",
+		base.Streams, base.Executors, base.Duration, base.Seed)
+	hdr := "sched     batch  ctrl      served/offered  drop%   qserved   spread%  p50       p99       tput_fps  util%"
+	if len(adapts) > 0 {
+		hdr += "  pareto"
+	}
+	fmt.Println(hdr)
+	row := func(e entry, note string) {
+		fl := e.res.Fleet
+		fmt.Printf("%-9s %5d  %-8s  %6d/%-7d  %5.1f  %8.2f  %7.1f  %-8s  %-8s  %8.1f  %5.1f%s\n",
+			e.kind, e.b, e.ctrl, fl.Served, fl.Arrived, 100*fl.DropRate,
+			fl.QualityServed(), 100*e.res.DropSpread(),
+			msStr(fl.Latency.P50), msStr(fl.Latency.P99),
+			fl.Throughput, 100*e.res.Utilization, note)
+	}
+	for _, s := range statics {
+		note := ""
+		if len(adapts) > 0 {
+			note = "      -"
+			sq, sp := s.res.Fleet.QualityServed(), s.res.Fleet.Latency.P99
+			for _, a := range adapts {
+				aq, ap := a.res.Fleet.QualityServed(), a.res.Fleet.Latency.P99
+				if aq >= sq && ap <= sp && (aq > sq || ap < sp) {
+					note = "      dom"
+					break
+				}
+			}
+		}
+		row(s, note)
+	}
+	for _, a := range adapts {
+		row(a, "")
+	}
+	fmt.Println("\nqserved weights each served frame by its mode's accuracy proxy")
+	fmt.Println("(full 1.0, cascade 0.95, proposal-only 0.6); spread% is max-min")
+	fmt.Println("per-stream drop rate. Batched rows pay the per-launch constant b")
+	fmt.Println("once per batch (alpha*SUM(W) + b).")
+	if len(adapts) > 0 {
+		fmt.Println("Static rows marked dom are strictly Pareto-dominated on the")
+		fmt.Println("(qserved, p99) plane by an adaptive row: the controller serves")
+		fmt.Println("no less quality at no more tail latency.")
+	}
 }
 
 // runPresetSweep replays the same fleet and fault config against every

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/serve"
+	"repro/internal/serve/control"
 	"repro/internal/sim"
 	"repro/internal/video"
 )
@@ -70,5 +71,48 @@ func TestChaosKnobErrorsCarryFieldPaths(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "serve: Chaos.Renumber") {
 		t.Errorf("error %q does not carry the Chaos.Renumber field path", err)
+	}
+}
+
+// TestControllerFlagErrorsCarryFieldPaths pins that incoherent
+// -controller / -control-tick combinations assembled from the flags
+// surface as Config.Validate field-path errors naming the control
+// knob to fix.
+func TestControllerFlagErrorsCarryFieldPaths(t *testing.T) {
+	spec := sim.SystemSpec{Kind: sim.CaTDet, Proposal: "resnet10a", Refinement: "resnet50", Cfg: core.DefaultConfig()}
+	cases := []struct {
+		name      string
+		ctrl      string
+		tick      float64
+		wantField string
+	}{
+		{"tick without controller", "", 0.25, "serve: Control.Interval"},
+		{"unknown controller", "pid", 0, "serve: Control.Kind"},
+		{"negative tick", "baseline", -1, "serve: Control.Interval"},
+	}
+	for _, tc := range cases {
+		cfg := serve.Config{
+			Spec:    spec,
+			Control: control.Config{Kind: control.Kind(tc.ctrl), Interval: tc.tick},
+		}
+		err := cfg.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted -controller=%q -control-tick=%v", tc.name, tc.ctrl, tc.tick)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantField) {
+			t.Errorf("%s: error %q does not carry field path %q", tc.name, err, tc.wantField)
+		}
+	}
+	ok := serve.Config{
+		Spec:    spec,
+		Control: control.Config{Kind: control.KindBaseline, Interval: 0.1},
+	}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("-controller baseline -control-tick 0.1 rejected: %v", err)
+	}
+	nop := serve.Config{Spec: spec, Control: control.Config{Kind: control.KindNop}}
+	if err := nop.Validate(); err != nil {
+		t.Errorf("-controller nop rejected: %v", err)
 	}
 }

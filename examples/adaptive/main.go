@@ -1,0 +1,105 @@
+// Adaptive serving scenario: the closed-loop control plane against
+// static policies on a sustained overload. Three dense crowd streams
+// offer more load than one executor's cascade capacity, so a static
+// fleet must pick its poison up front — serve everything late (huge
+// tail), or degrade everything for the whole run. The baseline
+// controller instead watches each stream's sliding-window backlog and
+// latency at virtual-clock control ticks and sheds exactly while the
+// queue is deep, recovering the cascade as soon as it drains: more
+// quality-weighted frames served at a lower p99 than any static
+// setting of the same fleet.
+package main
+
+import (
+	"fmt"
+
+	catdet "repro"
+)
+
+func quality(r *catdet.ServeResult) float64 { return r.Fleet.QualityServed() }
+
+func report(label string, cfg catdet.ServeConfig) *catdet.ServeResult {
+	res, err := catdet.Serve(cfg)
+	if err != nil {
+		panic(err)
+	}
+	fl := res.Fleet
+	extra := ""
+	if res.Control != nil {
+		extra = fmt.Sprintf("  (%d ticks, %d mode switches)", res.ControlTicks, res.ModeSwitches)
+	}
+	fmt.Printf("%-26s %5d/%-5d  qserved %6.2f  p99 %7.1fms  degraded %3d%s\n",
+		label, fl.Served, fl.Arrived, quality(res), 1000*fl.Latency.P99, fl.Degraded, extra)
+	return res
+}
+
+func main() {
+	crowd, err := catdet.PresetByName("crowd")
+	if err != nil {
+		panic(err)
+	}
+	base := catdet.ServeConfig{
+		Spec: catdet.SystemSpec{
+			Kind: catdet.CaTDet, Proposal: "resnet10a", Refinement: "resnet50",
+			Cfg: catdet.DefaultConfig(),
+		},
+		Preset:      crowd,
+		Seed:        1,
+		Streams:     3,
+		FPS:         4,
+		Arrivals:    catdet.Poisson,
+		Duration:    6,
+		Executors:   1,
+		QueueCap:    16,
+		StatsWindow: 8, // short window: control signals track the current burst
+	}
+	fmt.Printf("crowd overload: %d streams x %.0f fps (%s), %.0fs on %d executor\n",
+		base.Streams, base.FPS, base.Arrivals, base.Duration, base.Executors)
+	fmt.Println("qserved weights each served frame by its mode's accuracy proxy")
+	fmt.Println("(cascade 0.95, proposal-only 0.6)")
+	fmt.Println()
+
+	// The static menu: serve everything in full cascade, or shed with
+	// the fleet-wide DegradeDepth threshold.
+	report("static, no shedding", base)
+	shed := base
+	shed.DegradeDepth = 4
+	report("static, degrade-depth 4", shed)
+
+	// The adaptive row: the baseline hysteresis controller, ticking
+	// every 100ms of virtual time. HighDepth/LowDepth bound the
+	// per-stream backlog band (shed at 3, recover at <=1 once the
+	// window median is back under LowP99); every decision keys only on
+	// the virtual clock and the per-stream windows, so the run is as
+	// deterministic as the static ones.
+	adaptive := base
+	adaptive.BatchSize = 4 // let the controller's ramp fuse backlog bursts
+	adaptive.Control = catdet.ControlConfig{
+		Kind:     catdet.ControllerBaseline,
+		Interval: 0.1, Cooldown: 0.1,
+		HighDepth: 3, LowDepth: 1,
+		HighP99: 2.5, LowP99: 1.6,
+		MaxBatch: 4, BatchDepth: 8,
+	}
+	res := report("adaptive baseline", adaptive)
+
+	// Where did the controller spend its budget? Per-stream modes at
+	// the end of the run.
+	fmt.Println("\nper-stream outcome (adaptive row):")
+	for _, st := range res.PerStream {
+		fmt.Printf("  %-18s served %3d  degraded %3d  p99 %7.1fms\n",
+			st.ID, st.Served, st.Degraded, 1000*st.Latency.P99)
+	}
+
+	// The nop controller is the control plane's identity element: it
+	// schedules no ticks and decides nothing, so its result is
+	// byte-identical to the controller-less run above.
+	nop := base
+	nop.Control = catdet.ControlConfig{Kind: catdet.ControllerNop}
+	nres, err := catdet.Serve(nop)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nnop controller: served %d, qserved %.2f — identical to the static row\n",
+		nres.Fleet.Served, quality(nres))
+}

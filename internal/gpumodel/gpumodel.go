@@ -173,6 +173,24 @@ func (m Model) BatchFrames(workloads []float64, cpuPerFrame float64) FrameTime {
 	}
 }
 
+// FullCascadeFrame estimates the frame time of a cascade frame whose
+// refinement runs on the entire frame instead of the gated regions:
+// the proposal network's full-frame launch (still feeding the
+// tracker) plus one full-frame refinement launch of refOps
+// operations. This is the serving layer's highest-quality mode —
+// CaTDet's region gating, the source of its speedup, is given up for
+// maximum refinement coverage — and the upper anchor the adaptive
+// control plane (serve/control) trades against ProposalOnlyFrame.
+func (m Model) FullCascadeFrame(proposalOps, refOps float64) FrameTime {
+	gpu := m.LaunchTime(proposalOps) + m.LaunchTime(refOps)
+	return FrameTime{
+		GPU:            gpu,
+		Total:          gpu + m.CPUOverheadCaTDet,
+		Launches:       1,
+		MergedWorkload: refOps,
+	}
+}
+
 // ProposalOnlyFrame estimates the frame time of a cascade frame whose
 // refinement pass has been shed (the serving layer's degraded mode
 // under overload): only the proposal network's full-frame launch runs.

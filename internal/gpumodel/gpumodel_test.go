@@ -198,3 +198,30 @@ func TestRegionWorkloadClamps(t *testing.T) {
 		t.Fatal("degenerate frame should cost nothing")
 	}
 }
+
+// TestFullCascadeFrame pins the highest-quality mode's pricing: the
+// proposal pass plus one full-frame refinement launch, each paying its
+// own launch overhead, with the CaTDet CPU overhead on top. It must
+// sit strictly between proposal-only (the shed floor) and be costlier
+// than the region-gated CaTDet frame it gives the gating up from.
+func TestFullCascadeFrame(t *testing.T) {
+	m := Default()
+	prop := ops.MustCostModel("resnet10a").FullFrameOps(ops.KITTIWidth, ops.KITTIHeight)
+	ref := ops.MustCostModel("resnet50").FullFrameOps(ops.KITTIWidth, ops.KITTIHeight)
+	full := m.FullCascadeFrame(prop, ref)
+	if want := m.LaunchTime(prop) + m.LaunchTime(ref); full.GPU != want {
+		t.Fatalf("full-cascade GPU %.6f, want two separate launches %.6f", full.GPU, want)
+	}
+	if want := full.GPU + m.CPUOverheadCaTDet; full.Total != want {
+		t.Fatalf("full-cascade total %.6f, want GPU + CaTDet CPU overhead %.6f", full.Total, want)
+	}
+	shed := m.ProposalOnlyFrame(prop)
+	if full.Total <= shed.Total {
+		t.Fatalf("full cascade %.4f not above proposal-only %.4f", full.Total, shed.Total)
+	}
+	gated := m.CaTDetFrame(prop, []geom.Box{geom.NewBox(100, 100, 260, 260)},
+		ops.KITTIWidth, ops.KITTIHeight, ops.MustCostModel("resnet50"), 5)
+	if full.Total <= gated.Total {
+		t.Fatalf("full cascade %.4f not above region-gated CaTDet %.4f", full.Total, gated.Total)
+	}
+}

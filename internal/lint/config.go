@@ -40,6 +40,7 @@ func DefaultConfig() *Config {
 		"internal/serve",
 		"internal/serve/sched",
 		"internal/serve/cluster",
+		"internal/serve/control",
 		"internal/sim",
 		"internal/core",
 		"internal/video",
@@ -61,7 +62,7 @@ func DefaultConfig() *Config {
 			"internal/serve.(*fleet).startPool",
 			"internal/sim.mapSequences",
 		},
-		Golden:         []string{"internal/serve", "internal/serve/cluster"},
+		Golden:         []string{"internal/serve", "internal/serve/cluster", "internal/serve/control"},
 		GoldenBaseline: goldenBaseline,
 	}
 }

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/serve"
+	"repro/internal/serve/control"
 	"repro/internal/sim"
 	"repro/internal/video"
 )
@@ -326,5 +327,56 @@ func TestClusterValidation(t *testing.T) {
 	}
 	if err := (Config{Base: baseConfig()}).Validate(); err != nil {
 		t.Errorf("default cluster config rejected: %v", err)
+	}
+}
+
+// adaptiveCluster is the kitchen-sink scenario with per-shard adaptive
+// controllers live on top of migration and autoscaling: each shard runs
+// its own baseline controller over the streams it currently owns.
+func adaptiveCluster() Config {
+	cfg := everythingOn()
+	cfg.Base.FPS = 30
+	cfg.Base.Control = control.Config{
+		Kind:     control.KindBaseline,
+		Interval: 0.1, Cooldown: 0.1,
+		HighDepth: 2, LowDepth: 1,
+		HighP99: 2.5, LowP99: 1.6,
+		MaxBatch: 4, BatchDepth: 8,
+	}
+	return cfg
+}
+
+// TestClusterAdaptiveDeterminism extends the cluster determinism
+// contract to the adaptive control plane: with per-shard baseline
+// controllers shedding under a bursty overload, the merged books stay
+// byte-identical across reruns and Base.StepWorkers at every shard
+// count, and the merged result reports the summed controller activity.
+func TestClusterAdaptiveDeterminism(t *testing.T) {
+	for _, shards := range []int{1, 2} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			var golden []byte
+			var first *Result
+			for _, workers := range []int{1, 4, 1} { // trailing 1 = rerun
+				cfg := adaptiveCluster()
+				cfg.Shards = shards
+				cfg.GPUTiers = []string{"titanx", "v100"}[:shards]
+				cfg.Base.StepWorkers = workers
+				r := mustRun(t, cfg)
+				b := marshal(t, r)
+				if golden == nil {
+					golden, first = b, r
+				} else if !bytes.Equal(golden, b) {
+					t.Fatalf("adaptive books diverge at StepWorkers=%d", workers)
+				}
+			}
+			if first.ControlTicks == 0 {
+				t.Error("adaptive cluster merged zero control ticks")
+			}
+			for _, b := range first.PerShard {
+				if b.Result.Control == nil {
+					t.Errorf("shard %d book missing its control echo", b.Shard)
+				}
+			}
+		})
 	}
 }

@@ -54,9 +54,13 @@ type Result struct {
 	Fleet     serve.StreamStats   `json:"fleet"`
 	PerStream []serve.StreamStats `json:"per_stream"`
 
-	// Control-plane totals.
-	Migrations int `json:"migrations"`
-	Resizes    int `json:"resizes"`
+	// Control-plane totals. ControlTicks and ModeSwitches sum the
+	// per-shard adaptive-controller activity (serve/control) and stay
+	// absent while no controller is configured.
+	Migrations   int `json:"migrations"`
+	Resizes      int `json:"resizes"`
+	ControlTicks int `json:"control_ticks,omitempty"`
+	ModeSwitches int `json:"mode_switches,omitempty"`
 
 	PerShard []ShardBook `json:"per_shard"`
 
@@ -105,6 +109,8 @@ func (r *Router) merge(books []*serve.Result) *Result {
 		if b.LastEventAt > res.LastEventAt {
 			res.LastEventAt = b.LastEventAt
 		}
+		res.ControlTicks += b.ControlTicks
+		res.ModeSwitches += b.ModeSwitches
 	}
 	for s, b := range books {
 		seconds := b.ExecutorSeconds
@@ -140,6 +146,7 @@ func (r *Router) merge(books []*serve.Result) *Result {
 			row.DroppedPoison += sr.DroppedPoison
 			row.Reconnects += sr.Reconnects
 			row.Degraded += sr.Degraded
+			row.ModeFull += sr.ModeFull
 		}
 		row.Latency = serve.Summarize(r.lat[i])
 		all = append(all, r.lat[i]...)
@@ -157,6 +164,7 @@ func (r *Router) merge(books []*serve.Result) *Result {
 		fl.DroppedPoison += row.DroppedPoison
 		fl.Reconnects += row.Reconnects
 		fl.Degraded += row.Degraded
+		fl.ModeFull += row.ModeFull
 	}
 	res.Fleet.ID = "cluster"
 	res.Fleet.Latency = serve.Summarize(all)
@@ -194,6 +202,10 @@ func (r *Result) WriteText(w io.Writer) {
 	fmt.Fprintf(w, "cluster:     %d shards (vnodes %d, load factor %.2f, hop %s), tiers %v\n",
 		r.Shards, r.VirtualNodes, r.PlacementLoadFactor, ms(r.HopLatency), r.GPUTiers)
 	fmt.Fprintf(w, "control:     migration %s; autoscale %s\n", mig, auto)
+	if r.ControlTicks > 0 {
+		fmt.Fprintf(w, "adaptive:    %d control ticks, %d mode switches across shards\n",
+			r.ControlTicks, r.ModeSwitches)
+	}
 	fl := r.Fleet
 	fmt.Fprintf(w, "served:      %d/%d frames (throughput %.1f fps, drop rate %.1f%%, degraded %d); %d migrations, %d resizes\n",
 		fl.Served, fl.Arrived, fl.Throughput, 100*fl.DropRate, fl.Degraded, r.Migrations, r.Resizes)

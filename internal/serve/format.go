@@ -40,6 +40,10 @@ func (r *Result) WriteText(w io.Writer) {
 		fmt.Fprintf(w, "chaos:       dropout %.1f/min (mean %.1fs, renumber %v), fps jitter %.2f, clock skew %.2fs, poison rate %.2f\n",
 			ch.DropoutRate, ch.DropoutMeanLen, ch.Renumber, ch.FPSJitter, ch.ClockSkew, ch.PoisonRate)
 	}
+	if c := r.Control; c != nil {
+		fmt.Fprintf(w, "adaptive:    controller %s, tick %s (%d ticks, %d mode switches, quality served %.2f)\n",
+			c.Kind, ms(c.Interval), r.ControlTicks, r.ModeSwitches, r.Fleet.QualityServed())
+	}
 	fl := r.Fleet
 	fmt.Fprintf(w, "served:      %d/%d frames in %d launches (throughput %.1f fps, drop rate %.1f%%, degraded %d)\n",
 		fl.Served, fl.Arrived, r.Batches, fl.Throughput, 100*fl.DropRate, fl.Degraded)

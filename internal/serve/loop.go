@@ -13,18 +13,23 @@ import (
 	"repro/internal/detector"
 	"repro/internal/gpumodel"
 	"repro/internal/ops"
+	"repro/internal/serve/control"
 	"repro/internal/serve/sched"
 	"repro/internal/sim"
 	"repro/internal/video"
 )
 
-// Event kinds. At equal virtual times completions sort before resizes
-// and resizes before arrivals, so an executor freed at t can serve a
-// frame arriving at t, and a capacity change effective at t governs
-// that frame's dispatch.
+// Event kinds. At equal virtual times completions sort before resizes,
+// resizes before control ticks and control ticks before arrivals, so an
+// executor freed at t can serve a frame arriving at t, a capacity
+// change effective at t governs that frame's dispatch, and a control
+// tick at t observes the fleet after completions and resizes but
+// before the instant's arrivals — the same before-Submit ordering the
+// cluster control plane runs its shard ticks in.
 const (
 	evCompletion = iota
 	evResize
+	evControl
 	evArrival
 )
 
@@ -77,23 +82,30 @@ func (a *agenda) add(e event)  { heap.Push(a, e) }
 func (a *agenda) next() event  { return heap.Pop(a).(event) }
 
 // admitted is one frame an executor pulled from the scheduler, together
-// with the degrade decision taken at its admission and, once the step
-// phase has run, the frame's pricing component: the full dispatch price
-// under per-frame launches (BatchSize <= 1), or the frame's workload
-// feeding the fused-launch price under batching.
+// with the operating mode resolved at its admission (the per-stream
+// policy, or the legacy DegradeDepth decision under control.ModeAuto)
+// and, once the step phase has run, the frame's pricing component: the
+// full dispatch price under per-frame launches (effective batch <= 1),
+// or the frame's workload feeding the fused-launch price under
+// batching.
 type admitted struct {
-	job      sched.Job
-	degraded bool
-	service  float64 // BatchSize <= 1: this frame's dispatch price
-	work     float64 // BatchSize > 1: this frame's ops for BatchFrames
+	job     sched.Job
+	mode    control.Mode
+	service float64 // effective batch <= 1: this frame's dispatch price
+	work    float64 // effective batch > 1: this frame's ops for BatchFrames
 }
+
+// degraded reports the frame ran proposal-only (the refinement pass
+// was shed), whether by the legacy DegradeDepth threshold or an
+// explicit per-stream ModeProposal policy.
+func (a *admitted) degraded() bool { return a.mode == control.ModeProposal }
 
 // streamAcc accumulates one stream's counters during the run.
 type streamAcc struct {
 	arrived, served            int
 	droppedQueue, droppedStale int
 	droppedPoison, reconnects  int
-	degraded                   int
+	degraded, modeFull         int
 	latencies                  []float64
 }
 
@@ -213,6 +225,32 @@ type fleet struct {
 	sink Sink
 	win  *latWindow
 
+	// Per-stream sliding windows, always maintained: latWinS[s] rings
+	// the stream's most recent served-frame latencies and arrWin[s] its
+	// most recent arrival instants, both capped at Config.StatsWindow —
+	// the signals Stats.PerStreamWindow exposes and the control plane's
+	// View is built from.
+	latWinS []*latWindow
+	arrWin  []*stampWindow
+
+	// Adaptive control plane (nil/inert without an active
+	// Config.Control). ctrl is the per-fleet controller instance; mode,
+	// effStale and effBatch are the policy state its actions drive —
+	// under ModeAuto, the configured MaxStaleness and BatchSize they
+	// are initialized to, so a controller-less run's arithmetic is
+	// untouched. tickArmed tracks whether an evControl event is on the
+	// agenda: ticks self-reschedule while work is pending and go
+	// dormant on an idle fleet (so Drain terminates), re-armed by the
+	// next arrival at the next fixed Interval multiple.
+	ctrl         control.Controller
+	mode         []control.Mode
+	effStale     []float64
+	effBatch     int
+	tickArmed    bool
+	controlTicks int
+	modeSwitches int
+	view         control.View // reused tick scratch
+
 	now, lastT        float64
 	depthInt, busyInt float64 // time integrals of queue depth / busy executors
 	maxDepth          int
@@ -286,6 +324,24 @@ func newFleet(cfg Config) (*fleet, error) {
 	f.sessEpoch = make([]int, cfg.Streams)
 	f.acc = make([]streamAcc, cfg.Streams)
 	f.queued = make([]int, cfg.Streams)
+	f.mode = make([]control.Mode, cfg.Streams)
+	f.effStale = make([]float64, cfg.Streams)
+	f.effBatch = cfg.BatchSize
+	f.latWinS = make([]*latWindow, cfg.Streams)
+	f.arrWin = make([]*stampWindow, cfg.Streams)
+	for s := range f.effStale {
+		f.effStale[s] = cfg.MaxStaleness
+		f.latWinS[s] = newLatWindow(cfg.StatsWindow)
+		f.arrWin[s] = newStampWindow(cfg.StatsWindow)
+	}
+	if cfg.Control.Active() {
+		ctrl, err := control.New(cfg.Control)
+		if err != nil {
+			return nil, err
+		}
+		f.ctrl = ctrl
+		f.view.Streams = make([]control.StreamSignal, cfg.Streams)
+	}
 	for s := 0; s < cfg.Streams; s++ {
 		sys, err := factory()
 		if err != nil {
@@ -325,9 +381,13 @@ func (f *fleet) handle(e event) {
 	switch e.kind {
 	case evArrival:
 		f.acc[e.stream].arrived++
+		f.arrWin[e.stream].add(e.t)
 		f.admit(f.job(e.stream, e.frame, e.arrive, e.epoch))
+		f.armTick(e.t)
 	case evCompletion:
 		f.busy--
+	case evControl:
+		f.controlTick(e.t)
 	case evResize:
 		// Capacity changes take effect on the virtual clock like any
 		// other event; the dispatch below immediately puts grown
@@ -360,6 +420,104 @@ func (f *fleet) tick(t float64) {
 	f.capInt += dt * float64(f.cfg.Executors)
 	f.lastT = t
 	f.now = t
+}
+
+// armTick puts the next control tick on the agenda, if a controller is
+// active and none is pending. Ticks fire at fixed multiples of the
+// control interval — the first strict grid point after now — so the
+// decision instants of a scenario are stable regardless of when load
+// arrives, the property the determinism tests pin. Called on every
+// arrival: while the fleet has work the tick self-reschedules, and
+// when it goes dormant on an idle fleet the next arrival re-arms it
+// here.
+func (f *fleet) armTick(now float64) {
+	if f.ctrl == nil || f.tickArmed {
+		return
+	}
+	iv := f.cfg.Control.Interval
+	t := (math.Floor(now/iv) + 1) * iv
+	if t <= now { // guard float edge at exact grid points
+		t += iv
+	}
+	f.agenda.add(event{t: t, kind: evControl})
+	f.tickArmed = true
+}
+
+// controlTick runs one control decision: build the sliding-window view,
+// let the controller emit actions, apply them, and re-arm the next
+// tick while queued or in-flight work remains. With the fleet idle the
+// tick chain goes dormant instead of self-rescheduling — an armed tick
+// on an empty agenda would make Server.Drain spin forever — and the
+// next arrival re-arms it on the same fixed grid.
+func (f *fleet) controlTick(t float64) {
+	f.controlTicks++
+	f.tickArmed = false
+	for _, a := range f.ctrl.Tick(t, f.buildView()) {
+		f.apply(a, t)
+	}
+	if f.sched.Len() > 0 || f.busy > 0 {
+		f.agenda.add(event{t: t + f.cfg.Control.Interval, kind: evControl})
+		f.tickArmed = true
+	}
+}
+
+// buildView assembles the control.View for a tick from the per-stream
+// sliding windows, reusing the fleet's scratch (controllers must not
+// retain it).
+func (f *fleet) buildView() control.View {
+	f.view.QueueDepth = f.sched.Len()
+	f.view.Busy = f.busy
+	f.view.Executors = f.cfg.Executors
+	f.view.Batch = f.effBatch
+	f.view.BaseBatch = f.cfg.BatchSize
+	f.view.EDF = f.cfg.Scheduler == sched.EDF
+	f.view.MaxStaleness = f.cfg.MaxStaleness
+	f.view.Cascade = f.cascade
+	for s := range f.view.Streams {
+		sig := &f.view.Streams[s]
+		sig.Stream = s
+		sig.Class = 0
+		if len(f.cfg.Priorities) > 0 {
+			sig.Class = f.cfg.Priorities[s]
+		}
+		sig.Mode = f.mode[s]
+		sig.Queue = f.queued[s]
+		sig.ArrivalRate = f.arrWin[s].rate()
+		sig.P50, sig.P99 = f.latWinS[s].quantiles()
+		a := &f.acc[s]
+		sig.Served = a.served
+		sig.DroppedQueue = a.droppedQueue
+		sig.DroppedStale = a.droppedStale
+	}
+	return f.view
+}
+
+// apply commits one controller action, clamping defensively: out-of-
+// range streams are ignored, batch requests clamp to [1, MaxBatch].
+// Mode switches are counted and sunk (EventModeSwitch) at the decision
+// instant.
+func (f *fleet) apply(a control.Action, now float64) {
+	if a.Stream == control.Fleet {
+		if a.Batch > 0 {
+			b := a.Batch
+			if b > f.cfg.Control.MaxBatch {
+				b = f.cfg.Control.MaxBatch
+			}
+			f.effBatch = b
+		}
+		return
+	}
+	if a.Stream < 0 || a.Stream >= f.cfg.Streams {
+		return
+	}
+	if m := a.Policy.Mode; m != control.ModeAuto && m != f.mode[a.Stream] && f.cascade {
+		f.mode[a.Stream] = m
+		f.modeSwitches++
+		f.emit(Event{Kind: EventModeSwitch, Stream: a.Stream, Time: now, Mode: string(m)})
+	}
+	if s := a.Policy.DeadlineScale; s > 0 && f.cfg.MaxStaleness > 0 {
+		f.effStale[a.Stream] = f.cfg.MaxStaleness * s
+	}
 }
 
 // admit offers an arriving frame to the scheduler and charges the
@@ -427,34 +585,51 @@ func (f *fleet) dispatch() {
 			adm := &batch[i]
 			a := &f.acc[adm.job.Stream]
 			a.served++
-			if adm.degraded {
+			if adm.degraded() {
 				a.degraded++
+			}
+			if adm.mode == control.ModeFull {
+				a.modeFull++
 			}
 			lat := f.now + service - adm.job.Arrive
 			a.latencies = append(a.latencies, lat)
 			f.win.add(lat)
-			f.emit(Event{
+			f.latWinS[adm.job.Stream].add(lat)
+			ev := Event{
 				Kind: EventServed, Stream: adm.job.Stream, Frame: adm.job.Frame,
 				Arrive: adm.job.Arrive, Time: f.now + service,
-				Latency: lat, Degraded: adm.degraded, Batch: f.batches,
+				Latency: lat, Degraded: adm.degraded(), Batch: f.batches,
 				Epoch: adm.job.Epoch,
-			})
+			}
+			if f.ctrl != nil {
+				// Mode attribution only matters — and only changes trace
+				// bytes — on controlled runs.
+				ev.Mode = string(adm.mode)
+			}
+			f.emit(ev)
 		}
 	}
 }
 
-// gather pulls up to BatchSize servable frames from the scheduler into
-// f.adm, applying the stale-skip and degrade policies per frame as it
-// pops.
+// gather pulls up to the effective batch size of servable frames from
+// the scheduler into f.adm, applying the stale-skip and mode policies
+// per frame as it pops. A stream in control.ModeAuto keeps the legacy
+// fleet-wide behavior — degrade to proposal-only when DegradeDepth
+// frames still wait behind the admitted one — while an explicit
+// per-stream mode set by the control plane overrides that threshold
+// entirely. The stale bound is the stream's effective staleness
+// budget (the configured MaxStaleness until a controller rescales
+// it), checked in the same subtraction form as always so a unit-scale
+// budget is bit-identical to the historical arithmetic.
 func (f *fleet) gather() {
 	start := len(f.adm)
-	for len(f.adm)-start < f.cfg.BatchSize && f.sched.Len() > 0 {
+	for len(f.adm)-start < f.effBatch && f.sched.Len() > 0 {
 		j, ok := f.sched.Next()
 		if !ok {
 			break
 		}
 		f.queued[j.Stream]--
-		if f.cfg.MaxStaleness > 0 && f.now-j.Arrive > f.cfg.MaxStaleness {
+		if f.cfg.MaxStaleness > 0 && f.now-j.Arrive > f.effStale[j.Stream] {
 			f.acc[j.Stream].droppedStale++
 			f.emit(Event{
 				Kind: EventDroppedStale, Stream: j.Stream, Frame: j.Frame,
@@ -462,8 +637,14 @@ func (f *fleet) gather() {
 			})
 			continue
 		}
-		degraded := f.cascade && f.cfg.DegradeDepth > 0 && f.sched.Len() >= f.cfg.DegradeDepth
-		f.adm = append(f.adm, admitted{job: j, degraded: degraded})
+		mode := control.ModeAuto
+		if f.cascade {
+			if mode = f.mode[j.Stream]; mode == control.ModeAuto &&
+				f.cfg.DegradeDepth > 0 && f.sched.Len() >= f.cfg.DegradeDepth {
+				mode = control.ModeProposal
+			}
+		}
+		f.adm = append(f.adm, admitted{job: j, mode: mode})
 	}
 }
 
@@ -592,12 +773,15 @@ func (f *fleet) stepAdmitted(adm *admitted) {
 	}
 	out := f.step(adm.job)
 	seq := f.seqs[adm.job.Stream]
-	if f.cfg.BatchSize <= 1 {
+	if f.effBatch <= 1 {
 		switch {
 		case !f.cascade:
 			adm.service = f.gpu.SingleModelFrame(out.Ops.Refinement).Total
-		case adm.degraded:
+		case adm.degraded():
 			adm.service = f.gpu.ProposalOnlyFrame(out.Ops.Proposal).Total
+		case adm.mode == control.ModeFull:
+			adm.service = f.gpu.FullCascadeFrame(out.Ops.Proposal,
+				f.refCost.RegionOps(seq.Width, seq.Height, 1, out.NumProposals)).Total
 		default:
 			adm.service = f.gpu.CaTDetFrame(out.Ops.Proposal, out.Regions,
 				float64(seq.Width), float64(seq.Height), f.refCost, out.NumProposals).Total
@@ -607,8 +791,10 @@ func (f *fleet) stepAdmitted(adm *admitted) {
 	switch {
 	case !f.cascade:
 		adm.work = out.Ops.Refinement
-	case adm.degraded:
+	case adm.degraded():
 		adm.work = out.Ops.Proposal
+	case adm.mode == control.ModeFull:
+		adm.work = out.Ops.Proposal + f.refCost.RegionOps(seq.Width, seq.Height, 1, out.NumProposals)
 	default:
 		ft := f.gpu.CaTDetFrame(out.Ops.Proposal, out.Regions,
 			float64(seq.Width), float64(seq.Height), f.refCost, out.NumProposals)
@@ -617,11 +803,14 @@ func (f *fleet) stepAdmitted(adm *admitted) {
 }
 
 // priceBatch folds the batch's precomputed step results into the
-// dispatch's service time. A single-frame dispatch under BatchSize 1
-// keeps the per-frame, launch-by-launch pricing of PR 2; larger
-// batches fuse into one launch via gpumodel.Model.BatchFrames.
+// dispatch's service time. A single-frame dispatch under effective
+// batch 1 keeps the per-frame, launch-by-launch pricing of PR 2;
+// larger batches fuse into one launch via gpumodel.Model.BatchFrames.
+// The effective batch size only moves at control ticks, which are
+// agenda events — never mid-dispatch — so gather, step and pricing
+// always agree on the form.
 func (f *fleet) priceBatch(batch []admitted) float64 {
-	if f.cfg.BatchSize <= 1 {
+	if f.effBatch <= 1 {
 		return batch[0].service
 	}
 	f.works = f.works[:0]
@@ -636,13 +825,16 @@ func (f *fleet) priceBatch(batch []admitted) float64 {
 }
 
 // job builds the scheduler job for an arriving frame: the deadline is
-// arrive + MaxStaleness (arrive itself when staleness is off), the
-// class is the stream's configured priority, and the epoch its
-// capture-session generation.
+// arrive plus the stream's effective staleness budget (arrive itself
+// when staleness is off), the class is the stream's configured
+// priority, and the epoch its capture-session generation. The
+// effective budget is MaxStaleness until the control plane rescales
+// it (Policy.DeadlineScale), which moves both the EDF ordering and
+// the stale-drop bound together.
 func (f *fleet) job(stream, frame int, arrive float64, epoch int) sched.Job {
 	j := sched.Job{Stream: stream, Frame: frame, Arrive: arrive, Deadline: arrive, Epoch: epoch}
 	if f.cfg.MaxStaleness > 0 {
-		j.Deadline += f.cfg.MaxStaleness
+		j.Deadline += f.effStale[stream]
 	}
 	if len(f.cfg.Priorities) > 0 {
 		j.Class = f.cfg.Priorities[stream]
@@ -689,6 +881,14 @@ func (f *fleet) stats() Stats {
 		Executors:      f.cfg.Executors,
 		PerStreamQueue: append([]int(nil), f.queued...),
 		Window:         f.win.summary(),
+	}
+	st.PerStreamWindow = make([]StreamWindow, len(f.acc))
+	for s := range st.PerStreamWindow {
+		w := &st.PerStreamWindow[s]
+		w.Queue = f.queued[s]
+		w.ArrivalRate = f.arrWin[s].rate()
+		w.Window = f.latWinS[s].summary()
+		w.Mode = string(f.mode[s])
 	}
 	for s := range f.acc {
 		a := &f.acc[s]
@@ -760,6 +960,15 @@ func (f *fleet) result() *Result {
 		r.Resizes = f.resizes
 		r.ExecutorSeconds = f.capInt
 	}
+	if f.ctrl != nil {
+		// Echo the control-plane identity and totals only for actively
+		// controlled runs: controller-less and nop-controlled results
+		// keep their historical encoding byte for byte.
+		cc := cfg.Control
+		r.Control = &cc
+		r.ControlTicks = f.controlTicks
+		r.ModeSwitches = f.modeSwitches
+	}
 	if len(f.sessions) > 0 {
 		r.System = f.sessions[0].Name()
 	}
@@ -783,6 +992,7 @@ func (f *fleet) result() *Result {
 			DroppedPoison: a.droppedPoison,
 			Reconnects:    a.reconnects,
 			Degraded:      a.degraded,
+			ModeFull:      a.modeFull,
 			Throughput:    rate(a.served),
 			Latency:       Summarize(a.latencies),
 		}
@@ -797,6 +1007,7 @@ func (f *fleet) result() *Result {
 		fleetRow.DroppedPoison += a.droppedPoison
 		fleetRow.Reconnects += a.reconnects
 		fleetRow.Degraded += a.degraded
+		fleetRow.ModeFull += a.modeFull
 		all = append(all, a.latencies...)
 	}
 	fleetRow.Throughput = rate(fleetRow.Served)
@@ -853,6 +1064,7 @@ func (f *fleet) perClass(rate func(int) float64) []StreamStats {
 		row.DroppedPoison += a.droppedPoison
 		row.Reconnects += a.reconnects
 		row.Degraded += a.degraded
+		row.ModeFull += a.modeFull
 		lats[c] = append(lats[c], a.latencies...)
 	}
 	sort.Sort(sort.Reverse(sort.IntSlice(order)))

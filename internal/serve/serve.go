@@ -36,6 +36,7 @@ import (
 	"runtime"
 
 	"repro/internal/gpumodel"
+	"repro/internal/serve/control"
 	"repro/internal/serve/sched"
 	"repro/internal/sim"
 	"repro/internal/video"
@@ -213,6 +214,17 @@ type Config struct {
 	// refinement regions while recovering) is not modeled.
 	DegradeDepth int
 
+	// Control configures the adaptive control plane (see package
+	// serve/control): a controller invoked at virtual-clock control
+	// ticks that observes the per-stream sliding-window stats and
+	// retunes per-stream policy online — operating mode (full /
+	// cascade / proposal-only, generalizing the binary DegradeDepth
+	// threshold), effective batch size, and EDF deadline budgets. The
+	// zero value is off; Kind "nop" selects a controller that decides
+	// nothing and schedules nothing, reproducing the controller-less
+	// engine byte for byte.
+	Control control.Config
+
 	// GPU overrides the timing model; nil means gpumodel.Default().
 	GPU *gpumodel.Model
 
@@ -288,6 +300,7 @@ func (c Config) withDefaults() Config {
 	if c.StatsWindow <= 0 {
 		c.StatsWindow = 256
 	}
+	c.Control = c.Control.WithDefaults()
 	return c
 }
 
@@ -395,6 +408,12 @@ func (c Config) validate() error {
 	if c.Chaos.PoisonRate > 0 && c.Poison != PoisonDrop {
 		return fail("Chaos.PoisonRate", "injected pills need Poison %q, not %q", PoisonDrop, c.Poison)
 	}
+	if err := c.Control.Validate(); err != nil {
+		// control.Config.Validate already roots its message at
+		// "Control.<Field>"; prefix the package path like every other
+		// field-path error here ("serve: Control.Interval: ...").
+		return fmt.Errorf("serve: %w", err)
+	}
 	return nil
 }
 
@@ -424,6 +443,10 @@ type StreamStats struct {
 	Reconnects    int `json:"reconnects,omitempty"`
 	// Degraded counts served frames that ran proposal-only.
 	Degraded int `json:"degraded"`
+	// ModeFull counts served frames that ran full-frame refinement
+	// (control.ModeFull); zero — and omitted — unless the adaptive
+	// control plane promoted the stream.
+	ModeFull int `json:"mode_full,omitempty"`
 	// Throughput is Served divided by the scenario makespan
 	// (Result.LastEventAt), in frames per second. The makespan — not
 	// Duration — is the horizon of every time-averaged metric: under
@@ -499,6 +522,15 @@ type Result struct {
 	Resizes         int     `json:"resizes,omitempty"`
 	ExecutorSeconds float64 `json:"executor_seconds,omitempty"`
 
+	// Adaptive-control bookkeeping, present only when an active
+	// controller ran (controller-less and nop-controlled results keep
+	// their historical encoding byte for byte): the control config,
+	// the number of control ticks fired, and the number of per-stream
+	// mode switches applied.
+	Control      *control.Config `json:"control,omitempty"`
+	ControlTicks int             `json:"control_ticks,omitempty"`
+	ModeSwitches int             `json:"mode_switches,omitempty"`
+
 	// Batches counts executor dispatches (batched launches); with
 	// BatchSize 1 it equals Fleet.Served.
 	Batches int `json:"batches"`
@@ -511,6 +543,20 @@ type Result struct {
 	MaxQueueDepth int     `json:"max_queue_depth"`
 	Utilization   float64 `json:"utilization"`
 	MaxService    float64 `json:"max_service_s"`
+}
+
+// QualityServed is the row's accuracy-proxy headline: served frames
+// weighted by the modeled detection quality of the mode each ran in
+// (control.Mode.Quality — full 1.0, cascaded 0.95, proposal-only
+// 0.60). Two configs serving the same frame count can differ sharply
+// here: a fleet that sheds to proposal-only early serves more frames
+// at less quality each, and this weighted count is the axis the
+// adaptive-vs-static Pareto comparison plots against tail latency.
+func (s StreamStats) QualityServed() float64 {
+	cascaded := s.Served - s.Degraded - s.ModeFull
+	return float64(s.ModeFull)*control.ModeFull.Quality() +
+		float64(cascaded)*control.ModeCascade.Quality() +
+		float64(s.Degraded)*control.ModeProposal.Quality()
 }
 
 // DropSpread is the max-min spread of the per-stream drop rates: the

@@ -40,6 +40,11 @@ const (
 	// reconnecting frame was mapped to, and Epoch the session
 	// generation it will be served in.
 	EventReconnect EventKind = "reconnect"
+	// EventModeSwitch fires when the adaptive control plane moves a
+	// stream to a new operating mode at a control tick: Mode is the
+	// new mode and Time the decision instant (Arrive/Frame are zero —
+	// the switch is a stream-level decision, not a frame outcome).
+	EventModeSwitch EventKind = "mode-switch"
 )
 
 // Event is one per-frame serving outcome, reported to the configured
@@ -66,6 +71,11 @@ type Event struct {
 	// belongs to: 0 until the stream reconnects under reset-session,
 	// then +1 per reset (Frame indices restart within an epoch).
 	Epoch int `json:"epoch,omitempty"`
+	// Mode attributes the event to a per-stream operating mode (see
+	// serve/control): the new mode on a mode-switch event, the mode a
+	// served frame ran in on controlled runs. Empty — and the trace
+	// bytes unchanged — without an active controller.
+	Mode string `json:"mode,omitempty"`
 }
 
 // Sink receives per-frame events. Implementations run synchronously on

@@ -82,12 +82,36 @@ type Stats struct {
 	// Window summarizes end-to-end latency over the sliding window of
 	// the most recent Config.StatsWindow served frames.
 	Window LatencySummary `json:"window_latency"`
+	// PerStreamWindow breaks the sliding-window view down by stream —
+	// the per-stream signal set the adaptive control plane
+	// (serve/control) observes at its ticks. Every window is a bounded
+	// ring capped at Config.StatsWindow samples, so the memory cost is
+	// O(Streams * StatsWindow) regardless of run length.
+	PerStreamWindow []StreamWindow `json:"per_stream_window,omitempty"`
+}
+
+// StreamWindow is one stream's sliding-window snapshot within Stats.
+type StreamWindow struct {
+	// Queue is the stream's current backlog in the shared scheduler.
+	Queue int `json:"queue"`
+	// ArrivalRate is the stream's offered rate in frames/s over its
+	// most recent StatsWindow arrivals (0 until two have been seen).
+	ArrivalRate float64 `json:"arrival_rate_fps"`
+	// Window summarizes end-to-end latency over the stream's most
+	// recent StatsWindow served frames.
+	Window LatencySummary `json:"window_latency"`
+	// Mode is the stream's current operating mode, empty while the
+	// stream runs the legacy automatic policy (see serve/control).
+	Mode string `json:"mode,omitempty"`
 }
 
 // latWindow is a fixed-capacity ring over the most recent served-frame
-// latencies, feeding the sliding-window percentiles of Stats.
+// latencies, feeding the sliding-window percentiles of Stats. The
+// window size is stored explicitly because make() may round a slice's
+// capacity up to an allocation size class.
 type latWindow struct {
 	buf []float64
+	max int // window size
 	n   int // total samples ever added
 }
 
@@ -95,19 +119,75 @@ func newLatWindow(capacity int) *latWindow {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &latWindow{buf: make([]float64, 0, capacity)}
+	return &latWindow{buf: make([]float64, 0, capacity), max: capacity}
 }
 
 func (w *latWindow) add(v float64) {
-	if len(w.buf) < cap(w.buf) {
+	if len(w.buf) < w.max {
 		w.buf = append(w.buf, v)
 	} else {
-		w.buf[w.n%cap(w.buf)] = v
+		w.buf[w.n%w.max] = v
 	}
 	w.n++
 }
 
 func (w *latWindow) summary() LatencySummary { return Summarize(w.buf) }
+
+// quantiles returns the window's p50 and p99 without building a full
+// summary — the two signals a control tick reads per stream.
+func (w *latWindow) quantiles() (p50, p99 float64) {
+	if len(w.buf) == 0 {
+		return 0, 0
+	}
+	sorted := make([]float64, len(w.buf))
+	copy(sorted, w.buf)
+	sort.Float64s(sorted)
+	return percentile(sorted, 0.50), percentile(sorted, 0.99)
+}
+
+// stampWindow is a fixed-capacity ring over the most recent arrival
+// instants of one stream, feeding the windowed arrival-rate signal.
+type stampWindow struct {
+	buf []float64
+	max int // window size
+	n   int // total stamps ever added
+}
+
+func newStampWindow(capacity int) *stampWindow {
+	if capacity < 2 {
+		capacity = 2
+	}
+	return &stampWindow{buf: make([]float64, 0, capacity), max: capacity}
+}
+
+func (w *stampWindow) add(t float64) {
+	if len(w.buf) < w.max {
+		w.buf = append(w.buf, t)
+	} else {
+		w.buf[w.n%w.max] = t
+	}
+	w.n++
+}
+
+// rate is the windowed arrival rate: (count-1) arrivals over the span
+// from the oldest to the newest stamp in the ring, in frames/s. 0
+// until two arrivals have been seen or while the span is zero.
+func (w *stampWindow) rate() float64 {
+	k := len(w.buf)
+	if k < 2 {
+		return 0
+	}
+	newest := w.buf[(w.n-1)%w.max]
+	oldest := w.buf[0]
+	if k == w.max {
+		oldest = w.buf[w.n%w.max]
+	}
+	span := newest - oldest
+	if span <= 0 {
+		return 0
+	}
+	return float64(k-1) / span
+}
 
 // Summarize computes the latency summary of a sample set. The input is
 // not modified.
