@@ -23,7 +23,7 @@ STATICCHECK     ?= staticcheck
 STATICCHECK_VERSION ?= 2024.1.1
 FUZZ_TIME       ?= 20s
 
-.PHONY: all fmt vet lint lint-install lint-det build test race cover fuzz bench bench-json bench-diff cluster-determinism profile repro sweep trace clean
+.PHONY: all fmt vet lint lint-install lint-det build test race cover fuzz bench bench-json bench-diff cluster-determinism cluster-failover profile repro sweep trace clean
 
 all: fmt vet build test
 
@@ -127,6 +127,13 @@ bench-diff:
 # pinned to (see internal/serve/cluster).
 cluster-determinism:
 	$(GO) test -race -run '^TestClusterDeterminism$$' -v ./internal/serve/cluster/
+
+# Byte-identical merged books with shard kills, revivals and every
+# failover policy live, across shard counts and step-worker fan-outs
+# under the race detector — plus the empty-FaultPlan golden byte
+# identity (the fault machinery must be free when unused).
+cluster-failover:
+	$(GO) test -race -run '^(TestFailoverDeterminism|TestNoFaultPlanMatchesCluster)$$' -v ./internal/serve/cluster/
 
 # CPU and heap profiles of the serving hot path (see PROFILE_BENCH).
 # Inspect with: go tool pprof -top cpu.prof

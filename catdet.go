@@ -374,6 +374,30 @@ type (
 	ClusterSink = cluster.Sink
 	// ClusterSinkFunc adapts a function to ClusterSink.
 	ClusterSinkFunc = cluster.SinkFunc
+	// ClusterFaultPlan is the deterministic failure-injection plan:
+	// explicit scheduled faults plus a seeded stochastic kill/revive
+	// process, and the seized-frame failover policy. The zero value
+	// injects nothing and leaves the cluster byte-identical to a
+	// fault-free build.
+	ClusterFaultPlan = cluster.FaultPlan
+	// ClusterFault is one scheduled fault: kill, revive or add-shard at
+	// a virtual time.
+	ClusterFault = cluster.Fault
+	// ClusterFaultKind classifies a ClusterFault.
+	ClusterFaultKind = cluster.FaultKind
+	// ClusterFailoverPolicy selects what happens to the frames a shard
+	// kill seizes: replay on the survivors, drop, or replay degraded.
+	ClusterFailoverPolicy = cluster.FailoverPolicy
+	// ClusterFaultBook is the cluster-wide failure ledger merged into a
+	// ClusterResult: kill/revival/rebalance totals, downtime,
+	// availability and availability-adjusted economics.
+	ClusterFaultBook = cluster.FaultBook
+	// ClusterShardFaultBook is one shard's failure ledger: kills,
+	// downtime and kill-to-first-served recovery latencies.
+	ClusterShardFaultBook = cluster.ShardFaultBook
+	// ServeFailedFrame is one frame seized by Server.FailAt, in
+	// dispatch-then-queue order.
+	ServeFailedFrame = serve.FailedFrame
 	// GPUTier is one rentable GPU class: relative speed, price per hour
 	// and scale-up latency (see GPUTierByName for the catalog).
 	GPUTier = gpumodel.Tier
@@ -381,9 +405,27 @@ type (
 
 // Cluster event kinds.
 const (
-	ClusterEventServe   = cluster.EventServe
-	ClusterEventMigrate = cluster.EventMigrate
-	ClusterEventResize  = cluster.EventResize
+	ClusterEventServe     = cluster.EventServe
+	ClusterEventMigrate   = cluster.EventMigrate
+	ClusterEventResize    = cluster.EventResize
+	ClusterEventKill      = cluster.EventKill
+	ClusterEventRevive    = cluster.EventRevive
+	ClusterEventAddShard  = cluster.EventAddShard
+	ClusterEventRebalance = cluster.EventRebalance
+)
+
+// Scheduled fault kinds for a ClusterFaultPlan.
+const (
+	ClusterFaultKill     = cluster.FaultKill
+	ClusterFaultRevive   = cluster.FaultRevive
+	ClusterFaultAddShard = cluster.FaultAddShard
+)
+
+// Seized-frame failover policies.
+const (
+	ClusterFailoverReplay  = cluster.FailoverReplay
+	ClusterFailoverDrop    = cluster.FailoverDrop
+	ClusterFailoverDegrade = cluster.FailoverDegrade
 )
 
 // ErrClusterClosed is returned by ClusterRouter methods after Close.

@@ -381,3 +381,68 @@ func TestFacadeAdaptivePath(t *testing.T) {
 		t.Error("ModeAuto frames must carry the cascade quality weight")
 	}
 }
+
+// TestFacadeFailoverPath drives the failure-injection surface through
+// the facade: a scheduled kill and revival with the replay failover,
+// fault events on the sink, and the availability ledger on the result.
+func TestFacadeFailoverPath(t *testing.T) {
+	var kills, revivals, rebalances int
+	res, err := ServeCluster(ClusterConfig{
+		Base: ServeConfig{
+			Spec: SystemSpec{
+				Kind: CaTDet, Proposal: "resnet10a", Refinement: "resnet50", Cfg: DefaultConfig(),
+			},
+			Preset:   MiniKITTIPreset(),
+			Seed:     1,
+			Streams:  6,
+			FPS:      15,
+			Duration: 4,
+			QueueCap: 64,
+		},
+		Shards:   2,
+		GPUTiers: []string{"titanx", "v100"},
+		Faults: ClusterFaultPlan{
+			Faults: []ClusterFault{
+				{Time: 1, Kind: ClusterFaultKill, Shard: 0},
+				{Time: 2.5, Kind: ClusterFaultRevive, Shard: 0},
+			},
+			Failover: ClusterFailoverReplay,
+		},
+		Sink: ClusterSinkFunc(func(e ClusterEvent) {
+			switch e.Kind {
+			case ClusterEventKill:
+				kills++
+			case ClusterEventRevive:
+				revivals++
+			case ClusterEventRebalance:
+				rebalances++
+			}
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults == nil {
+		t.Fatal("faulted run has no fault ledger")
+	}
+	if res.Faults.Kills != kills || kills != 1 {
+		t.Fatalf("ledger books %d kills, sink saw %d, want 1", res.Faults.Kills, kills)
+	}
+	if res.Faults.Revivals != revivals || revivals != 1 {
+		t.Fatalf("ledger books %d revivals, sink saw %d, want 1", res.Faults.Revivals, revivals)
+	}
+	if res.Faults.Replaced+res.Faults.Rebalanced != rebalances {
+		t.Fatalf("ledger books %d+%d ownership moves, sink saw %d",
+			res.Faults.Replaced, res.Faults.Rebalanced, rebalances)
+	}
+	if res.Faults.Availability <= 0 || res.Faults.Availability >= 1 {
+		t.Fatalf("availability %v outside (0,1) for a cluster with downtime", res.Faults.Availability)
+	}
+	fl := res.Fleet
+	if fl.Served+fl.DroppedQueue+fl.DroppedStale+fl.DroppedFailover != fl.Arrived {
+		t.Fatalf("frame accounting leak under failover: %+v", fl)
+	}
+	if sb := res.PerShard[0].Fault; sb == nil || sb.Kills != 1 {
+		t.Fatalf("killed shard's fault book missing or wrong: %+v", sb)
+	}
+}

@@ -27,6 +27,9 @@
 //	serve -shards 2 -migrate-depth 4 -stream-fps 120,15,15,15 # hot stream migrates off its shard
 //	serve -arrivals burst -burst-period 4 -burst-duty 0.125 \
 //	      -shards 2 -autoscale min=0,max=2 -sweep             # elastic vs static economics table
+//	serve -shards 4 -kill 0@5,2@9 -revive 0@12 -failover replay  # deterministic shard failures
+//	serve -shards 2 -mtbf 20 -mttr 4 -failover degrade        # seeded stochastic kill/revive process
+//	serve -shards 2 -add-shard 10:v100 -migrate-depth 4       # grow the ring online mid-run
 package main
 
 import (
@@ -80,7 +83,7 @@ func main() {
 	degradeDepth := flag.Int("degrade-depth", 0, "degrade to proposal-only when this many frames wait behind the admitted one (0 = off)")
 	controller := flag.String("controller", "", "adaptive control plane: nop | baseline (\"\" = off; see internal/serve/control)")
 	controlTick := flag.Float64("control-tick", 0, "control-tick spacing in virtual seconds (0 = controller default; needs -controller)")
-	reconnect := flag.String("reconnect", "reject", "camera reconnect policy: reject | resume-with-gap | reset-session")
+	reconnect := flag.String("reconnect", "", "camera reconnect policy: reject | resume-with-gap | reset-session (\"\" = reject, or resume-with-gap when a failover policy replays frames)")
 	poison := flag.String("poison", "error", "corrupt-frame policy: error | drop")
 	maxFrame := flag.Int("max-frame", 0, "largest accepted frame index (0 = default bound)")
 	chaos := flag.String("chaos", "", "fault injection, comma-separated k=v: dropout=<per-min>, len=<s>, renumber, jitter=<std>, skew=<s>, poison=<rate>")
@@ -90,6 +93,12 @@ func main() {
 	hop := flag.Float64("hop", 0, "cross-node hop latency charged to frames served off their hash-home shard (cluster mode; 0 = default 2ms)")
 	migrateDepth := flag.Int("migrate-depth", 0, "per-stream queue depth that arms stream migration off a saturated shard (cluster mode; 0 = off)")
 	autoscale := flag.String("autoscale", "", "elastic per-shard executors (cluster mode): \"on\" or k=v list min=,max=,interval=,up-queue=,down-idle=,p99=")
+	kill := flag.String("kill", "", "comma-separated shard@t kill schedule (cluster mode): \"0@5,2@9.5\"")
+	revive := flag.String("revive", "", "comma-separated shard@t revival schedule (cluster mode): \"0@12\"")
+	addShard := flag.String("add-shard", "", "comma-separated online shard additions (cluster mode): t or t:tier, e.g. \"10:v100,20\"")
+	mtbf := flag.Float64("mtbf", 0, "mean time between stochastic shard kills in virtual seconds (cluster mode; 0 = off)")
+	mttr := flag.Float64("mttr", 0, "mean downtime before a stochastic kill's revival (cluster mode; 0 = default 1 when -mtbf is set)")
+	failover := flag.String("failover", "", "seized-frame policy when a shard dies (cluster mode): replay | drop | degrade (\"\" = replay)")
 	jsonOut := flag.Bool("json", false, "emit the full machine-readable result instead of text")
 	sweep := flag.Bool("sweep", false, "run the scheduler x batch grid on this scenario and print a comparison table")
 	trace := flag.String("trace", "", "stream per-frame serve events (served/dropped/degraded) as JSONL to this file (\"-\" = stdout)")
@@ -152,8 +161,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if *shards <= 0 && (*gpuTiers != "" || *hop != 0 || *migrateDepth > 0 || *autoscale != "") {
-		log.Fatal("-gpu-tiers, -hop, -migrate-depth and -autoscale configure the sharded cluster; they need -shards")
+	faults, err := parseFaults(*kill, *revive, *addShard, *mtbf, *mttr, *failover)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *shards <= 0 && (*gpuTiers != "" || *hop != 0 || *migrateDepth > 0 || *autoscale != "" ||
+		*kill != "" || *revive != "" || *addShard != "" || *mtbf != 0 || *mttr != 0 || *failover != "") {
+		log.Fatal("-gpu-tiers, -hop, -migrate-depth, -autoscale, -kill, -revive, -add-shard, -mtbf, -mttr and -failover configure the sharded cluster; they need -shards")
 	}
 	if *shards > 0 {
 		if presetAll {
@@ -166,6 +180,7 @@ func main() {
 			GPUTiers:   parseNames(*gpuTiers),
 			Migration:  cluster.Migration{QueueDepth: *migrateDepth},
 			Autoscale:  as,
+			Faults:     faults,
 		}
 		if err := ccfg.Validate(); err != nil {
 			log.Fatal(err)
@@ -499,6 +514,60 @@ func parseAutoscale(s string) (cluster.Autoscale, error) {
 		}
 	}
 	return a, nil
+}
+
+// parseFaults maps the failure-injection flags onto a cluster
+// FaultPlan: -kill and -revive take comma-separated shard@t entries,
+// -add-shard takes t or t:tier entries, -mtbf/-mttr shape the seeded
+// stochastic process and -failover names the seized-frame policy.
+// Range checking (shard bounds, tier names, policy enum) is
+// cluster.Config.Validate's job; this only parses the grammar.
+func parseFaults(kill, revive, addShard string, mtbf, mttr float64, failover string) (cluster.FaultPlan, error) {
+	plan := cluster.FaultPlan{
+		MTBF:     mtbf,
+		MTTR:     mttr,
+		Failover: cluster.FailoverPolicy(failover),
+	}
+	shardAt := func(name string, list string, kind cluster.FaultKind) error {
+		if list == "" {
+			return nil
+		}
+		for _, part := range strings.Split(list, ",") {
+			part = strings.TrimSpace(part)
+			s, at, ok := strings.Cut(part, "@")
+			if !ok {
+				return fmt.Errorf("%s: %q is not shard@t (e.g. \"0@5\")", name, part)
+			}
+			shard, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				return fmt.Errorf("%s: bad shard in %q: %v", name, part, err)
+			}
+			t, err := strconv.ParseFloat(strings.TrimSpace(at), 64)
+			if err != nil {
+				return fmt.Errorf("%s: bad time in %q: %v", name, part, err)
+			}
+			plan.Faults = append(plan.Faults, cluster.Fault{Time: t, Kind: kind, Shard: shard})
+		}
+		return nil
+	}
+	if err := shardAt("kill", kill, cluster.FaultKill); err != nil {
+		return plan, err
+	}
+	if err := shardAt("revive", revive, cluster.FaultRevive); err != nil {
+		return plan, err
+	}
+	if addShard != "" {
+		for _, part := range strings.Split(addShard, ",") {
+			part = strings.TrimSpace(part)
+			at, tier, _ := strings.Cut(part, ":")
+			t, err := strconv.ParseFloat(strings.TrimSpace(at), 64)
+			if err != nil {
+				return plan, fmt.Errorf("add-shard: bad time in %q (want t or t:tier): %v", part, err)
+			}
+			plan.Faults = append(plan.Faults, cluster.Fault{Time: t, Kind: cluster.FaultAddShard, Tier: strings.TrimSpace(tier)})
+		}
+	}
+	return plan, nil
 }
 
 // parseChaos parses the -chaos flag: a comma-separated k=v list

@@ -1,11 +1,13 @@
 package main
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/serve"
+	"repro/internal/serve/cluster"
 	"repro/internal/serve/control"
 	"repro/internal/sim"
 	"repro/internal/video"
@@ -114,5 +116,89 @@ func TestControllerFlagErrorsCarryFieldPaths(t *testing.T) {
 	nop := serve.Config{Spec: spec, Control: control.Config{Kind: control.KindNop}}
 	if err := nop.Validate(); err != nil {
 		t.Errorf("-controller nop rejected: %v", err)
+	}
+}
+
+// TestParseFaults pins the failure-injection flag grammar: -kill and
+// -revive take shard@t lists, -add-shard takes t or t:tier, and the
+// scalars map straight onto the FaultPlan.
+func TestParseFaults(t *testing.T) {
+	plan, err := parseFaults("0@5,2@9.5", "0@12", "10:v100,20", 30, 4, "degrade")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cluster.FaultPlan{
+		Faults: []cluster.Fault{
+			{Time: 5, Kind: cluster.FaultKill, Shard: 0},
+			{Time: 9.5, Kind: cluster.FaultKill, Shard: 2},
+			{Time: 12, Kind: cluster.FaultRevive, Shard: 0},
+			{Time: 10, Kind: cluster.FaultAddShard, Tier: "v100"},
+			{Time: 20, Kind: cluster.FaultAddShard},
+		},
+		MTBF: 30, MTTR: 4, Failover: cluster.FailoverDegrade,
+	}
+	if !reflect.DeepEqual(plan, want) {
+		t.Errorf("parseFaults = %+v, want %+v", plan, want)
+	}
+	empty, err := parseFaults("", "", "", 0, 0, "")
+	if err != nil || empty.Enabled() {
+		t.Errorf("no fault flags: got %+v, %v; want a disabled plan, nil", empty, err)
+	}
+	bad := []struct{ kill, revive, add string }{
+		{kill: "0"},        // missing @t
+		{kill: "a@5"},      // bad shard
+		{kill: "0@fast"},   // bad time
+		{revive: "1"},      // missing @t
+		{add: "soon:v100"}, // bad time
+	}
+	for _, tc := range bad {
+		if _, err := parseFaults(tc.kill, tc.revive, tc.add, 0, 0, ""); err == nil {
+			t.Errorf("parseFaults(%q, %q, %q) accepted a malformed spec", tc.kill, tc.revive, tc.add)
+		}
+	}
+}
+
+// TestFaultFlagErrorsCarryFieldPaths pins that fault misconfigurations
+// assembled from the flags surface as cluster.Config.Validate
+// field-path errors naming the knob to fix.
+func TestFaultFlagErrorsCarryFieldPaths(t *testing.T) {
+	spec := sim.SystemSpec{Kind: sim.CaTDet, Proposal: "resnet10a", Refinement: "resnet50", Cfg: core.DefaultConfig()}
+	base := serve.Config{Spec: spec, Streams: 4}
+	cases := []struct {
+		name              string
+		kill, revive, add string
+		mtbf, mttr        float64
+		failover          string
+		wantField         string
+	}{
+		{name: "unknown failover", kill: "0@1", failover: "teleport", wantField: "Faults.Failover"},
+		{name: "shard out of range", kill: "9@1", wantField: "Faults.Faults[0].Shard"},
+		{name: "negative time", revive: "0@-2", wantField: "Faults.Faults[0].Time"},
+		{name: "unknown tier", add: "1:tpu", wantField: "Faults.Faults[0].Tier"},
+		{name: "negative mtbf", mtbf: -1, wantField: "Faults.MTBF"},
+		{name: "negative mttr", mtbf: 2, mttr: -1, wantField: "Faults.MTTR"},
+	}
+	for _, tc := range cases {
+		plan, err := parseFaults(tc.kill, tc.revive, tc.add, tc.mtbf, tc.mttr, tc.failover)
+		if err != nil {
+			t.Fatalf("%s: grammar rejected %v", tc.name, err)
+		}
+		cfg := cluster.Config{Base: base, Shards: 2, Faults: plan}
+		err = cfg.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted the plan %+v", tc.name, plan)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantField) {
+			t.Errorf("%s: error %q does not carry field path %q", tc.name, err, tc.wantField)
+		}
+	}
+	plan, err := parseFaults("0@5", "0@8", "", 0, 0, "replay")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := cluster.Config{Base: base, Shards: 2, Faults: plan}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("-kill 0@5 -revive 0@8 -failover replay rejected: %v", err)
 	}
 }

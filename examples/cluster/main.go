@@ -135,6 +135,39 @@ func main() {
 	fmt.Printf("\n  live before drain: %d arrived, %d executors rented, per-shard queues %v\n",
 		live.Arrived, live.Executors, live.PerShardQueue)
 
+	// Failure injection: kill a shard mid-run and revive it later. The
+	// survivors inherit its streams through the resized hash ring, the
+	// seized in-flight and queued frames replay on the new owners, and
+	// the revival's bulk rebalance spreads ownership back out. The
+	// books gain a failure ledger: downtime, recovery latency and
+	// availability-adjusted economics.
+	faulty := catdet.ClusterConfig{
+		Base:     base(),
+		Shards:   2,
+		GPUTiers: []string{"titanx", "v100"},
+		Faults: catdet.ClusterFaultPlan{
+			Faults: []catdet.ClusterFault{
+				{Time: 2, Kind: catdet.ClusterFaultKill, Shard: 0},
+				{Time: 4, Kind: catdet.ClusterFaultRevive, Shard: 0},
+			},
+			Failover: catdet.ClusterFailoverReplay,
+		},
+	}
+	fres, err := catdet.ServeCluster(faulty)
+	if err != nil {
+		panic(err)
+	}
+	fb := fres.Faults
+	fmt.Printf("\nshard 0 killed at t=2s, revived at t=4s (replay failover):\n\n")
+	fmt.Println("capacity               served      drop%  p99         migr  resz  cost     served/$")
+	row("2 shards + failover", fres)
+	fmt.Printf("\n  %d kill, %d revival: %d seized frames replayed, %d ownership moves\n",
+		fb.Kills, fb.Revivals, fb.Replayed, fb.Replaced+fb.Rebalanced)
+	sb := fres.PerShard[0].Fault
+	fmt.Printf("  shard 0 downtime %.2fs, recovery latencies %v\n", sb.Downtime, sb.RecoveryLatencies)
+	fmt.Printf("  availability %.1f%%, %0.1f availability-adjusted served/$\n",
+		100*fb.Availability, fb.AvailServedPerDollar)
+
 	fmt.Println("\nsame seed, same arrivals, same worlds — the cluster layer only moves")
 	fmt.Println("streams and capacity. Migration relocates the hot stream after its")
 	fmt.Println("backlog builds, mixed tiers trade dollars for speed on the same books,")

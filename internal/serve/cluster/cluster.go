@@ -29,6 +29,21 @@ const (
 	// Time the virtual instant it becomes effective (decision time plus
 	// the tier's ScaleUpLatency for growth).
 	EventResize EventKind = "resize"
+	// EventKill fires when the FaultPlan takes a shard down; Shard is
+	// the victim and Time the failure tick. Seized-frame outcomes
+	// follow as the shard's EventFailedOver serve events.
+	EventKill EventKind = "kill"
+	// EventRevive fires when a killed shard comes back; Executors is
+	// the restored capacity and Time the instant it serves again
+	// (revival tick plus the tier's ScaleUpLatency).
+	EventRevive EventKind = "revive"
+	// EventAddShard fires when the FaultPlan grows the cluster; Shard
+	// is the new shard's index and Tier its GPU tier.
+	EventAddShard EventKind = "add-shard"
+	// EventRebalance fires when failover re-placement or the bulk
+	// rebalancer moves a stream between shards outside the migration
+	// policy; fields as EventMigrate.
+	EventRebalance EventKind = "rebalance"
 )
 
 // Event is one cluster-level occurrence, reported to Config.Sink.
@@ -42,8 +57,10 @@ type Event struct {
 	From   int `json:"from,omitempty"`
 	To     int `json:"to,omitempty"`
 	Epoch  int `json:"epoch,omitempty"`
-	// Executors is an EventResize's new target count.
+	// Executors is an EventResize's (or EventRevive's) new target count.
 	Executors int `json:"executors,omitempty"`
+	// Tier names an EventAddShard's GPU tier.
+	Tier string `json:"tier,omitempty"`
 	// Time is when the event takes effect on the virtual clock.
 	Time float64 `json:"time_s"`
 }
@@ -87,6 +104,33 @@ type Router struct {
 	migrations int
 	resizes    int
 
+	// Failure-injection state. The schedule is pre-generated at New
+	// (explicit faults merged with the seeded stochastic process) and
+	// executed in order on the control-tick grid; the per-shard and
+	// per-stream slices below stay all-alive/all-zero without an active
+	// FaultPlan, so the fault-free paths never branch on them.
+	ring       *ring   // current live consistent-hash ring
+	ringEpoch  int     // bumped per online ring resize
+	faults     []Fault // merged schedule, (Time, declaration) order
+	nextFault  int     // first unexecuted schedule entry
+	alive      []bool
+	bornAt     []float64   // per shard: when it joined the cluster
+	downSince  []float64   // per shard: kill time while dead
+	lastKill   []float64   // per shard: most recent kill time
+	downtime   []float64   // per shard: accumulated dead seconds
+	killCount  []int       // per shard: kills taken
+	awaitServe []bool      // per shard: awaiting first post-revival serve
+	recoveries [][]float64 // per shard: kill -> first-served latencies
+	replayed   []int       // per stream: seized frames re-submitted
+	dropFail   []int       // per stream: seized frames dropped
+	pinOwner   []int       // per stream: dead shard holding its degrade pin, -1 if none
+	orphans    []orphanFrame
+	kills      int
+	revivals   int
+	added      int
+	replaced   int // failover re-placements through the live ring
+	rebalanced int // bulk-rebalancer moves
+
 	// Merged books: per-stream served latencies collected from every
 	// shard's sink (serve summaries cannot be merged after the fact),
 	// plus a sliding window over the latest served latencies for Stats.
@@ -95,6 +139,18 @@ type Router struct {
 	wn     int
 
 	closed bool
+}
+
+// orphanFrame is a frame the Router could not place on any live shard:
+// either submitted while its stream's owner was dead with no live
+// fallback, or seized by a kill that left no survivor. Orphans replay
+// on the next membership gain (or Drain's last-resort revival). seized
+// marks frames already counted Arrived on the dead shard, whose replay
+// must be subtracted from the merged books.
+type orphanFrame struct {
+	stream, frame int
+	at            float64
+	seized        bool
 }
 
 // shardSink forwards one shard's per-frame events into the Router's
@@ -109,6 +165,12 @@ type shardSink struct {
 func (s shardSink) ServeEvent(e serve.Event) {
 	r := s.r
 	if e.Kind == serve.EventServed {
+		if r.awaitServe[s.shard] {
+			// Recovery latency: kill instant to the first frame the
+			// revived shard completes.
+			r.awaitServe[s.shard] = false
+			r.recoveries[s.shard] = append(r.recoveries[s.shard], e.Time-r.lastKill[s.shard])
+		}
 		r.lat[e.Stream] = append(r.lat[e.Stream], e.Latency)
 		if len(r.window) < cap(r.window) {
 			r.window = append(r.window, e.Latency)
@@ -132,20 +194,40 @@ func New(cfg Config) (*Router, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	home, owner := place(newRing(cfg.Shards, cfg.VirtualNodes), cfg.Base.Streams, cfg.PlacementLoadFactor)
+	rg := newRing(cfg.Shards, cfg.VirtualNodes)
+	home, owner := place(rg, cfg.Base.Streams, cfg.PlacementLoadFactor)
 	r := &Router{
-		cfg:       cfg,
-		shards:    make([]*serve.Server, cfg.Shards),
-		tiers:     make([]gpumodel.Tier, cfg.Shards),
-		home:      home,
-		owner:     owner,
-		epoch:     make([]int, cfg.Base.Streams),
-		migCount:  make([]int, cfg.Base.Streams),
-		lastMig:   make([]float64, cfg.Shards),
-		pending:   make([]float64, cfg.Shards),
-		idleTicks: make([]int, cfg.Shards),
-		lat:       make([][]float64, cfg.Base.Streams),
-		window:    make([]float64, 0, cfg.Base.StatsWindow),
+		cfg:        cfg,
+		shards:     make([]*serve.Server, cfg.Shards),
+		tiers:      make([]gpumodel.Tier, cfg.Shards),
+		home:       home,
+		owner:      owner,
+		epoch:      make([]int, cfg.Base.Streams),
+		migCount:   make([]int, cfg.Base.Streams),
+		lastMig:    make([]float64, cfg.Shards),
+		pending:    make([]float64, cfg.Shards),
+		idleTicks:  make([]int, cfg.Shards),
+		ring:       rg,
+		faults:     buildFaultSchedule(cfg),
+		alive:      make([]bool, cfg.Shards),
+		bornAt:     make([]float64, cfg.Shards),
+		downSince:  make([]float64, cfg.Shards),
+		lastKill:   make([]float64, cfg.Shards),
+		downtime:   make([]float64, cfg.Shards),
+		killCount:  make([]int, cfg.Shards),
+		awaitServe: make([]bool, cfg.Shards),
+		recoveries: make([][]float64, cfg.Shards),
+		replayed:   make([]int, cfg.Base.Streams),
+		dropFail:   make([]int, cfg.Base.Streams),
+		pinOwner:   make([]int, cfg.Base.Streams),
+		lat:        make([][]float64, cfg.Base.Streams),
+		window:     make([]float64, 0, cfg.Base.StatsWindow),
+	}
+	for s := range r.alive {
+		r.alive[s] = true
+	}
+	for i := range r.pinOwner {
+		r.pinOwner[i] = -1
 	}
 	if cfg.controlled() {
 		r.nextTick = cfg.Autoscale.Interval
@@ -220,6 +302,13 @@ func (r *Router) Submit(stream, frame int, arriveAt float64) error {
 	r.controlTo(arriveAt)
 	at := arriveAt
 	s := r.owner[stream]
+	if !r.alive[s] {
+		// The owner is dead and no live shard could take the stream (a
+		// whole-cluster outage): buffer the frame, keeping its arrival
+		// stamp, until a revival or addition restores capacity.
+		r.orphans = append(r.orphans, orphanFrame{stream: stream, frame: frame, at: arriveAt})
+		return nil
+	}
 	if s != r.home[stream] && !math.IsNaN(at) {
 		at += r.cfg.HopLatency
 	}
@@ -251,6 +340,10 @@ func (r *Router) controlTo(t float64) {
 	for r.nextTick <= t {
 		e := r.nextTick
 		r.nextTick += r.cfg.Autoscale.Interval
+		// Faults fire at tick start, so the autoscaler and the
+		// migration policy below observe the post-fault cluster — the
+		// survivors' backlog spike is exactly what they exist to shed.
+		r.runFaults(e)
 		stats := make([]serve.Stats, len(r.shards))
 		for s, srv := range r.shards {
 			srv.AdvanceTo(e)
@@ -258,12 +351,16 @@ func (r *Router) controlTo(t float64) {
 		}
 		if r.cfg.Autoscale.Enabled {
 			for s := range r.shards {
-				r.autoscaleShard(s, e, stats[s])
+				if r.alive[s] {
+					r.autoscaleShard(s, e, stats[s])
+				}
 			}
 		}
 		if r.cfg.Migration.QueueDepth > 0 {
 			for s := range r.shards {
-				r.maybeMigrate(s, e, stats)
+				if r.alive[s] {
+					r.maybeMigrate(s, e, stats)
+				}
 			}
 		}
 	}
@@ -345,11 +442,11 @@ func (r *Router) maybeMigrate(s int, e float64, stats []serve.Stats) {
 	if hot < 0 {
 		return
 	}
-	// Least-loaded target by total backlog, then by owned-stream count,
-	// then lowest index.
+	// Least-loaded live target by total backlog, then by owned-stream
+	// count, then lowest index.
 	target := -1
 	for t := range r.shards {
-		if t == s {
+		if t == s || !r.alive[t] {
 			continue
 		}
 		if target < 0 {
@@ -374,6 +471,7 @@ func (r *Router) maybeMigrate(s int, e float64, stats []serve.Stats) {
 	r.migCount[hot]++
 	r.lastMig[s] = e
 	r.migrations++
+	r.movePin(hot, s, target)
 	if r.cfg.Sink != nil {
 		r.cfg.Sink.ClusterEvent(Event{
 			Kind: EventMigrate, Shard: target, Stream: hot,
@@ -414,12 +512,21 @@ func (r *Router) Stats() Stats {
 		st.DroppedStale += ss.DroppedStale
 		st.DroppedPoison += ss.DroppedPoison
 		st.Reconnects += ss.Reconnects
+		st.FailedOver += ss.FailedOver
 		st.Degraded += ss.Degraded
 		st.QueueDepth += ss.QueueDepth
 		st.BusyExecutors += ss.BusyExecutors
 		st.Executors += ss.Executors
 		st.PerShardQueue[s] = ss.QueueDepth
+		if !r.alive[s] {
+			st.DeadShards++
+		}
 	}
+	for i := range r.replayed {
+		st.Replayed += r.replayed[i]
+		st.DroppedFailover += r.dropFail[i]
+	}
+	st.Orphaned = len(r.orphans)
 	if st.Now > 0 {
 		st.Throughput = float64(st.Served) / st.Now
 	}
@@ -447,8 +554,17 @@ type Stats struct {
 	PerShardQueue []int   `json:"per_shard_queue"`
 	Migrations    int     `json:"migrations"`
 	Resizes       int     `json:"resizes"`
-	Throughput    float64 `json:"throughput_fps"`
-	DropRate      float64 `json:"drop_rate"`
+	// Failure-injection counters, all zero (and absent from the JSON)
+	// without an active FaultPlan: shards currently dead, frames seized
+	// by kills, seized frames replayed elsewhere or dropped, and frames
+	// buffered with no live shard to serve them.
+	DeadShards      int     `json:"dead_shards,omitempty"`
+	FailedOver      int     `json:"failed_over,omitempty"`
+	Replayed        int     `json:"replayed,omitempty"`
+	DroppedFailover int     `json:"dropped_failover,omitempty"`
+	Orphaned        int     `json:"orphaned,omitempty"`
+	Throughput      float64 `json:"throughput_fps"`
+	DropRate        float64 `json:"drop_rate"`
 	// Window summarizes the latest Base.StatsWindow served latencies
 	// across every shard.
 	Window serve.LatencySummary `json:"window_latency"`
@@ -466,7 +582,35 @@ func (r *Router) Drain(ctx context.Context) (*Result, error) {
 	if r.closed {
 		return nil, ErrClosed
 	}
+	// Flush the remaining fault schedule: ticks are driven by Submit,
+	// so kills, revivals and additions due after the last arrival would
+	// otherwise never fire. Each controlTo call runs exactly one tick.
+	for r.nextFault < len(r.faults) {
+		r.controlTo(r.nextTick)
+	}
+	if len(r.orphans) > 0 {
+		// Frames still parked with no live shard: the whole cluster died
+		// and no revival was scheduled. A real operator's last resort is
+		// bringing one node back — revive the lowest-index dead shard at
+		// the cluster's current makespan so every admitted frame still
+		// reaches an outcome in the merged book.
+		now := 0.0
+		for _, srv := range r.shards {
+			if st := srv.Stats(); st.Now > now {
+				now = st.Now
+			}
+		}
+		for s := range r.shards {
+			if !r.alive[s] {
+				r.reviveShard(s, now)
+				break
+			}
+		}
+	}
 	for s, srv := range r.shards {
+		if !r.alive[s] {
+			continue // a dead shard's backlog was seized at the kill
+		}
 		st := srv.Stats()
 		if st.QueueDepth > 0 && st.Executors == 0 {
 			n := 1

@@ -21,10 +21,96 @@ package cluster
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/gpumodel"
 	"repro/internal/serve"
 )
+
+// FailoverPolicy selects what happens to the frames a shard kill
+// seizes — everything queued or in flight on the dead shard at the
+// failure instant.
+type FailoverPolicy string
+
+// The failover policies.
+const (
+	// FailoverReplay re-submits every seized frame to its stream's new
+	// owner shard at the failure tick (re-stamped arrival, hop latency
+	// charged off-home); the merged books subtract each replay from
+	// Arrived so offered load stays the schedule's. Default.
+	FailoverReplay FailoverPolicy = "replay"
+	// FailoverDrop abandons seized frames: each is counted in the
+	// stream's DroppedFailover channel and never served.
+	FailoverDrop FailoverPolicy = "drop"
+	// FailoverDegrade replays like FailoverReplay but additionally pins
+	// the dead shard's streams to proposal-only mode on their fallback
+	// shards until the dead shard revives (see serve.Server.PinMode).
+	FailoverDegrade FailoverPolicy = "degrade"
+)
+
+// FaultKind classifies one scheduled fault.
+type FaultKind string
+
+// The fault kinds.
+const (
+	// FaultKill takes a shard's hardware down: in-flight and queued
+	// frames are seized (see FailoverPolicy), its streams re-place
+	// through the live consistent-hash ring, and its executor count
+	// drops to zero until a revival.
+	FaultKill FaultKind = "kill"
+	// FaultRevive brings a killed shard back: capacity returns after
+	// the tier's scale-up latency, the ring resizes back, and the bulk
+	// rebalancer re-spreads streams across the live shards.
+	FaultRevive FaultKind = "revive"
+	// FaultAddShard grows the cluster online: a new shard joins the
+	// ring (on Fault.Tier, or the config's tier rotation) and the bulk
+	// rebalancer shifts streams toward it by tier speed.
+	FaultAddShard FaultKind = "add-shard"
+)
+
+// Fault is one scheduled fault. Faults execute at the first control
+// tick at or after Time, in (Time, declaration order); every field
+// carries omitempty so fault-free books stay byte-identical.
+type Fault struct {
+	// Time is the virtual second the fault becomes due.
+	Time float64 `json:"time_s,omitempty"`
+	// Kind selects the fault.
+	Kind FaultKind `json:"kind,omitempty"`
+	// Shard is the victim of a kill or revival. It may name a shard
+	// added earlier by an add-shard fault (index Shards, Shards+1, ...);
+	// killing a shard not yet born is a no-op.
+	Shard int `json:"shard,omitempty"`
+	// Tier names the gpumodel tier of an add-shard fault; empty
+	// continues the config's GPUTiers rotation.
+	Tier string `json:"tier,omitempty"`
+}
+
+// FaultPlan is the cluster's deterministic failure schedule: explicit
+// scheduled faults, plus an optional seeded stochastic kill/revive
+// process. The zero value disables failure injection entirely and
+// leaves the cluster byte-identical to a fault-free build.
+type FaultPlan struct {
+	// Faults are the explicit scheduled faults.
+	Faults []Fault `json:"faults,omitempty"`
+	// MTBF, when positive, turns on the stochastic process: shard
+	// kills arrive with exponentially distributed inter-arrival times
+	// of this mean (seconds), each targeting a seeded-uniform victim
+	// among the initial shards, until Base.Duration.
+	MTBF float64 `json:"mtbf_s,omitempty"`
+	// MTTR is the mean of the exponentially distributed downtime each
+	// stochastic kill schedules its revival after (default 1 when MTBF
+	// is set).
+	MTTR float64 `json:"mttr_s,omitempty"`
+	// Failover selects the seized-frame policy (default FailoverReplay).
+	Failover FailoverPolicy `json:"failover,omitempty"`
+	// Seed seeds the stochastic process; 0 uses Base.Seed. The whole
+	// schedule is pre-generated at New, so the same plan yields the
+	// same faults on any machine at any worker count.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// Enabled reports whether the plan injects any fault.
+func (p FaultPlan) Enabled() bool { return len(p.Faults) > 0 || p.MTBF > 0 }
 
 // Migration bounds when and how often the Router moves a stream off a
 // saturated shard. The zero value disables migration.
@@ -115,6 +201,13 @@ type Config struct {
 	Migration Migration
 	Autoscale Autoscale
 
+	// Faults is the failure-injection plan: scheduled and stochastic
+	// shard kills, revivals and online shard additions, executed
+	// deterministically on the control-tick grid. The zero value keeps
+	// the cluster fault-free and its books byte-identical to a build
+	// without the subsystem.
+	Faults FaultPlan
+
 	// Sink, when non-nil, receives cluster events: every shard's
 	// per-frame serve.Event wrapped with its shard index, plus
 	// migration and resize decisions. Like serve.Config.Sink it runs
@@ -125,6 +218,25 @@ type Config struct {
 
 // withDefaults fills every unset field with its documented default.
 func (c Config) withDefaults() Config {
+	if c.Faults.Enabled() {
+		if c.Faults.Failover == "" {
+			c.Faults.Failover = FailoverReplay
+		}
+		if c.Faults.MTBF > 0 && c.Faults.MTTR == 0 {
+			c.Faults.MTTR = 1
+		}
+		// Replay re-enters seized frames through Submit on the target
+		// shard, where their world indices can collide with the
+		// target's own session — exactly the regression the resume
+		// reconnect policy interprets. Default it in before the Base
+		// normalization freezes "" to the strict reject.
+		if c.Faults.Failover != FailoverDrop && c.Base.Reconnect == "" {
+			c.Base.Reconnect = serve.ReconnectResume
+		}
+		// Seizing in-flight launches needs completion-time accounting
+		// on every shard (see serve.Config.FailableExecutors).
+		c.Base.FailableExecutors = true
+	}
 	c.Base = c.Base.Normalized()
 	c.Base.Sink = nil
 	if c.Shards <= 0 {
@@ -163,9 +275,9 @@ func (c Config) withDefaults() Config {
 		if c.Autoscale.DownIdle <= 0 {
 			c.Autoscale.DownIdle = 2
 		}
-	} else if c.Migration.QueueDepth > 0 && c.Autoscale.Interval <= 0 {
-		// Migration shares the control-tick grid even with the
-		// autoscaler off.
+	} else if (c.Migration.QueueDepth > 0 || c.Faults.Enabled()) && c.Autoscale.Interval <= 0 {
+		// Migration and failure injection share the control-tick grid
+		// even with the autoscaler off.
 		c.Autoscale.Interval = 0.5
 	}
 	return c
@@ -217,10 +329,58 @@ func (c Config) validate() error {
 			return fail("Autoscale.P99", "must be non-negative, got %v", a.P99)
 		}
 	}
+	// The rate checks run even when the plan is otherwise disabled: a
+	// negative MTBF never enables the stochastic process, but silently
+	// ignoring it would hide a config typo.
+	if f := c.Faults; f.MTBF < 0 || math.IsNaN(f.MTBF) || math.IsInf(f.MTBF, 0) {
+		return fail("Faults.MTBF", "must be a non-negative finite time, got %v", f.MTBF)
+	} else if f.MTTR < 0 || math.IsNaN(f.MTTR) || math.IsInf(f.MTTR, 0) {
+		return fail("Faults.MTTR", "must be a non-negative finite time, got %v", f.MTTR)
+	}
+	if f := c.Faults; f.Enabled() {
+		switch f.Failover {
+		case FailoverReplay, FailoverDrop, FailoverDegrade:
+		default:
+			return fail("Faults.Failover", "unknown policy %q (want %q, %q or %q)",
+				f.Failover, FailoverReplay, FailoverDrop, FailoverDegrade)
+		}
+		adds := 0
+		for _, ft := range f.Faults {
+			if ft.Kind == FaultAddShard {
+				adds++
+			}
+		}
+		for i, ft := range f.Faults {
+			field := fmt.Sprintf("Faults.Faults[%d]", i)
+			if ft.Time < 0 || math.IsNaN(ft.Time) || math.IsInf(ft.Time, 0) {
+				return fail(field+".Time", "must be a non-negative finite time, got %v", ft.Time)
+			}
+			switch ft.Kind {
+			case FaultKill, FaultRevive:
+				if ft.Shard < 0 || ft.Shard >= c.Shards+adds {
+					return fail(field+".Shard", "%d out of range [0,%d) (%d configured shards + %d add-shard faults)",
+						ft.Shard, c.Shards+adds, c.Shards, adds)
+				}
+			case FaultAddShard:
+				if ft.Tier != "" {
+					if _, err := gpumodel.TierByName(ft.Tier); err != nil {
+						return fail(field+".Tier", "%v", err)
+					}
+				}
+			default:
+				return fail(field+".Kind", "unknown fault kind %q (want %q, %q or %q)",
+					ft.Kind, FaultKill, FaultRevive, FaultAddShard)
+			}
+		}
+		if (f.Failover == FailoverReplay || f.Failover == FailoverDegrade) && c.Base.Reconnect == serve.ReconnectReject {
+			return fail("Faults.Failover", "%q replays seized frames into surviving shards, which Base.Reconnect %q rejects; use %q or %q, or the %q failover",
+				f.Failover, serve.ReconnectReject, serve.ReconnectResume, serve.ReconnectReset, FailoverDrop)
+		}
+	}
 	return nil
 }
 
 // controlled reports whether any control policy needs the tick grid.
 func (c Config) controlled() bool {
-	return c.Autoscale.Enabled || c.Migration.QueueDepth > 0
+	return c.Autoscale.Enabled || c.Migration.QueueDepth > 0 || c.Faults.Enabled()
 }

@@ -24,6 +24,56 @@ type ShardBook struct {
 	// makespan.
 	Cost   float64       `json:"cost_dollars"`
 	Result *serve.Result `json:"result"`
+	// Fault is the shard's failure ledger, present only under an active
+	// FaultPlan (fault-free books keep their historical bytes).
+	Fault *ShardFaultBook `json:"fault,omitempty"`
+}
+
+// ShardFaultBook is one shard's failure ledger. Every field carries
+// omitempty so an untouched shard's book stays minimal.
+type ShardFaultBook struct {
+	// Kills counts the shard's failures; Downtime the virtual seconds
+	// it spent dead (kill to effective revival, or to the cluster
+	// makespan if never revived).
+	Kills    int     `json:"kills,omitempty"`
+	Downtime float64 `json:"downtime_s,omitempty"`
+	// RecoveryLatencies are the kill-to-first-served-frame latencies of
+	// each completed recovery, in kill order.
+	RecoveryLatencies []float64 `json:"recovery_latencies_s,omitempty"`
+	// BornAt is when an add-shard fault created the shard (0 for the
+	// initial topology); Down marks a shard still dead at the end.
+	BornAt float64 `json:"born_at_s,omitempty"`
+	Down   bool    `json:"down,omitempty"`
+}
+
+// FaultBook is the cluster-wide failure ledger, present in Result only
+// under an active FaultPlan.
+type FaultBook struct {
+	// Failover echoes the seized-frame policy the run used.
+	Failover FailoverPolicy `json:"failover,omitempty"`
+	// Kills, Revivals and ShardsAdded count the executed faults;
+	// Replaced counts failover re-placements through the live ring and
+	// Rebalanced the bulk-planner moves after membership gains;
+	// RingEpoch counts online ring resizes.
+	Kills       int `json:"kills,omitempty"`
+	Revivals    int `json:"revivals,omitempty"`
+	ShardsAdded int `json:"shards_added,omitempty"`
+	Replaced    int `json:"replaced,omitempty"`
+	Rebalanced  int `json:"rebalanced,omitempty"`
+	RingEpoch   int `json:"ring_epoch,omitempty"`
+	// Replayed counts seized frames re-submitted to survivors (each is
+	// subtracted from the merged Arrived so offered load stays the
+	// schedule's); DroppedFailover the seized frames abandoned under
+	// the drop policy.
+	Replayed        int `json:"replayed,omitempty"`
+	DroppedFailover int `json:"dropped_failover,omitempty"`
+	// Downtime sums the per-shard dead seconds. Availability is the
+	// uptime fraction, 1 - Downtime/sum of per-shard lifespans; the
+	// availability-adjusted economics headline scales ServedPerDollar
+	// by it.
+	Downtime             float64 `json:"downtime_s,omitempty"`
+	Availability         float64 `json:"availability,omitempty"`
+	AvailServedPerDollar float64 `json:"avail_served_per_dollar,omitempty"`
 }
 
 // Result is the merged outcome of one cluster scenario: plain data with
@@ -63,6 +113,9 @@ type Result struct {
 	ModeSwitches int `json:"mode_switches,omitempty"`
 
 	PerShard []ShardBook `json:"per_shard"`
+
+	// Faults is the failure ledger, absent without an active FaultPlan.
+	Faults *FaultBook `json:"faults,omitempty"`
 
 	// Cost sums the shard rentals; ServedPerDollar is the cluster's
 	// economic headline, Fleet.Served/Cost (0 when the cost is 0).
@@ -145,9 +198,18 @@ func (r *Router) merge(books []*serve.Result) *Result {
 			row.DroppedStale += sr.DroppedStale
 			row.DroppedPoison += sr.DroppedPoison
 			row.Reconnects += sr.Reconnects
+			row.FailedOver += sr.FailedOver
 			row.Degraded += sr.Degraded
 			row.ModeFull += sr.ModeFull
 		}
+		// A replayed frame arrived twice — once on the shard that died
+		// holding it, once on the survivor that served it. Subtracting
+		// the replays keeps the merged Arrived equal to the offered
+		// schedule, so arrived == served + drops + dropped_failover
+		// holds cluster-wide under any FailoverPolicy.
+		row.Replayed = r.replayed[i]
+		row.DroppedFailover = r.dropFail[i]
+		row.Arrived -= r.replayed[i]
 		row.Latency = serve.Summarize(r.lat[i])
 		all = append(all, r.lat[i]...)
 		if res.LastEventAt > 0 {
@@ -163,6 +225,9 @@ func (r *Router) merge(books []*serve.Result) *Result {
 		fl.DroppedStale += row.DroppedStale
 		fl.DroppedPoison += row.DroppedPoison
 		fl.Reconnects += row.Reconnects
+		fl.FailedOver += row.FailedOver
+		fl.Replayed += row.Replayed
+		fl.DroppedFailover += row.DroppedFailover
 		fl.Degraded += row.Degraded
 		fl.ModeFull += row.ModeFull
 	}
@@ -176,6 +241,45 @@ func (r *Router) merge(books []*serve.Result) *Result {
 	}
 	if res.Cost > 0 {
 		res.ServedPerDollar = float64(res.Fleet.Served) / res.Cost
+	}
+	if cfg.Faults.Enabled() {
+		fb := &FaultBook{
+			Failover:        cfg.Faults.Failover,
+			Kills:           r.kills,
+			Revivals:        r.revivals,
+			ShardsAdded:     r.added,
+			Replaced:        r.replaced,
+			Rebalanced:      r.rebalanced,
+			RingEpoch:       r.ringEpoch,
+			Replayed:        res.Fleet.Replayed,
+			DroppedFailover: res.Fleet.DroppedFailover,
+		}
+		lifespan := 0.0
+		for s := range books {
+			down := r.downtime[s]
+			if !r.alive[s] {
+				// Still dead at the end: downtime runs to the makespan.
+				if d := res.LastEventAt - r.downSince[s]; d > 0 {
+					down += d
+				}
+			}
+			fb.Downtime += down
+			if span := res.LastEventAt - r.bornAt[s]; span > 0 {
+				lifespan += span
+			}
+			res.PerShard[s].Fault = &ShardFaultBook{
+				Kills:             r.killCount[s],
+				Downtime:          down,
+				RecoveryLatencies: append([]float64(nil), r.recoveries[s]...),
+				BornAt:            r.bornAt[s],
+				Down:              !r.alive[s],
+			}
+		}
+		if lifespan > 0 {
+			fb.Availability = 1 - fb.Downtime/lifespan
+		}
+		fb.AvailServedPerDollar = res.ServedPerDollar * fb.Availability
+		res.Faults = fb
 	}
 	return res
 }
@@ -209,6 +313,11 @@ func (r *Result) WriteText(w io.Writer) {
 	fl := r.Fleet
 	fmt.Fprintf(w, "served:      %d/%d frames (throughput %.1f fps, drop rate %.1f%%, degraded %d); %d migrations, %d resizes\n",
 		fl.Served, fl.Arrived, fl.Throughput, 100*fl.DropRate, fl.Degraded, r.Migrations, r.Resizes)
+	if f := r.Faults; f != nil {
+		fmt.Fprintf(w, "failures:    %d kills, %d revivals, %d shards added (%s failover): %d replayed, %d dropped, %d replaced + %d rebalanced moves; downtime %.2fs, availability %.1f%%, %.1f avail-adjusted served/$\n",
+			f.Kills, f.Revivals, f.ShardsAdded, f.Failover, f.Replayed, f.DroppedFailover,
+			f.Replaced, f.Rebalanced, f.Downtime, 100*f.Availability, f.AvailServedPerDollar)
+	}
 	fmt.Fprintf(w, "latency:     p50 %s  p95 %s  p99 %s  max %s  (mean %s)\n",
 		ms(fl.Latency.P50), ms(fl.Latency.P95), ms(fl.Latency.P99), ms(fl.Latency.Max), ms(fl.Latency.Mean))
 	fmt.Fprintf(w, "economics:   $%.4f total, %.1f served frames per dollar; makespan %.2fs\n",

@@ -31,21 +31,38 @@ func fnv64a(s string) uint64 {
 type ring struct {
 	hashes []uint64
 	shards []int
-	n      int // shard count
+	n      int // member count
+	ids    int // max member shard index + 1 (for walk's seen set)
 }
 
 func newRing(shards, vnodes int) *ring {
+	members := make([]int, shards)
+	for s := range members {
+		members[s] = s
+	}
+	return newRingMembers(members, vnodes)
+}
+
+// newRingMembers builds the ring over an explicit member set — the live
+// shards after kills, revivals and additions. Each member's points hash
+// the same "shard-S-vnode-V" keys as the full ring, so removing a shard
+// moves only the keys it owned (the consistent-hashing property online
+// ring resizing relies on) and re-adding it restores the prior layout.
+func newRingMembers(members []int, vnodes int) *ring {
 	r := &ring{
-		hashes: make([]uint64, 0, shards*vnodes),
-		shards: make([]int, 0, shards*vnodes),
-		n:      shards,
+		hashes: make([]uint64, 0, len(members)*vnodes),
+		shards: make([]int, 0, len(members)*vnodes),
+		n:      len(members),
 	}
 	type point struct {
 		h     uint64
 		shard int
 	}
-	pts := make([]point, 0, shards*vnodes)
-	for s := 0; s < shards; s++ {
+	pts := make([]point, 0, len(members)*vnodes)
+	for _, s := range members {
+		if s >= r.ids {
+			r.ids = s + 1
+		}
 		for v := 0; v < vnodes; v++ {
 			pts = append(pts, point{fnv64a(fmt.Sprintf("shard-%d-vnode-%d", s, v)), s})
 		}
@@ -82,7 +99,7 @@ func (r *ring) owner(key string) int {
 // key's owner: the preference order for load-aware placement overflow.
 func (r *ring) walk(key string) []int {
 	order := make([]int, 0, r.n)
-	seen := make([]bool, r.n)
+	seen := make([]bool, r.ids)
 	for i, k := r.start(key), 0; k < len(r.hashes) && len(order) < r.n; k++ {
 		s := r.shards[(i+k)%len(r.hashes)]
 		if !seen[s] {

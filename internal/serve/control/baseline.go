@@ -101,6 +101,12 @@ func (b *baseline) Tick(now float64, v View) []Action {
 		if !v.Cascade {
 			continue // single-model streams have one tier
 		}
+		if sig.Pinned {
+			// The serving layer pinned this stream's mode (degrade
+			// failover); it still counts toward fleet pressure above,
+			// but its mode is not ours to move.
+			continue
+		}
 		if calm {
 			b.calmTicks[i]++
 		} else {

@@ -328,3 +328,26 @@ func TestBaselineDeterministicReplay(t *testing.T) {
 		t.Error("identical tick sequences produced different action streams")
 	}
 }
+
+// TestBaselineSkipsPinnedStreams: a stream whose mode the serving layer
+// pinned (degrade failover) is off-limits to the per-stream policy —
+// the controller neither sheds nor recovers it — while its backlog
+// still counts toward the fleet pressure driving unpinned peers.
+func TestBaselineSkipsPinnedStreams(t *testing.T) {
+	c := mustBaseline(t, Config{Interval: 0.25, Cooldown: 0.25})
+	v := view(2, 10, 1.0)
+	v.Streams[0].Pinned = true
+	acts := c.Tick(0.25, v)
+	var touchedUnpinned bool
+	for _, a := range acts {
+		if a.Stream == 0 {
+			t.Fatalf("controller acted on the pinned stream: %+v", a)
+		}
+		if a.Stream == 1 {
+			touchedUnpinned = true
+		}
+	}
+	if !touchedUnpinned {
+		t.Error("hot unpinned stream saw no action alongside a pinned peer")
+	}
+}

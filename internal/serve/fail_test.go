@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro/internal/serve/control"
+)
+
+// TestFailAtSeizesBacklog pins the seizure contract of FailAt: on the
+// overloaded golden scenario the kill returns both the in-flight launch
+// and the queued backlog in dispatch-then-queue order, the books
+// reconcile (arrived = served + drops + failed over), and the dead
+// server drains cleanly at zero capacity.
+func TestFailAtSeizesBacklog(t *testing.T) {
+	cfg := goldenConfig()
+	cfg.FailableExecutors = true
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	sched := ScheduleSource(cfg)
+	for a, ok := sched.Next(); ok && a.At <= 2; a, ok = sched.Next() {
+		if err := srv.Submit(a.Stream, a.Frame, a.At); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seized, err := srv.FailAt(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seized) == 0 {
+		t.Fatal("overloaded server died with nothing to seize")
+	}
+	// Per-stream frame order is preserved across the seizure.
+	last := map[int]int{}
+	for _, f := range seized {
+		if prev, ok := last[f.Stream]; ok && f.Frame <= prev {
+			t.Fatalf("stream %d seized out of order: frame %d after %d", f.Stream, f.Frame, prev)
+		}
+		last[f.Stream] = f.Frame
+	}
+	st := srv.Stats()
+	if st.FailedOver != len(seized) {
+		t.Errorf("stats book %d failed-over frames, seizure returned %d", st.FailedOver, len(seized))
+	}
+	if st.QueueDepth != 0 || st.BusyExecutors != 0 {
+		t.Errorf("dead server still holds work: queue %d, busy %d", st.QueueDepth, st.BusyExecutors)
+	}
+	if got := st.Served + st.DroppedQueue + st.DroppedStale + st.FailedOver; got != st.Arrived {
+		t.Errorf("books do not reconcile: served %d + drops %d+%d + failed over %d = %d != arrived %d",
+			st.Served, st.DroppedQueue, st.DroppedStale, st.FailedOver, got, st.Arrived)
+	}
+	r, err := srv.Drain(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Fleet.Served + r.Fleet.DroppedQueue + r.Fleet.DroppedStale + r.Fleet.FailedOver; got != r.Fleet.Arrived {
+		t.Errorf("drained books do not reconcile: %d != arrived %d", got, r.Fleet.Arrived)
+	}
+	if r.Fleet.FailedOver != len(seized) {
+		t.Errorf("drained result books %d failed-over frames, want %d", r.Fleet.FailedOver, len(seized))
+	}
+}
+
+// TestFailAtRequiresFailable pins the guard: dispatch-time accounting
+// cannot seize in-flight frames back, so FailAt refuses.
+func TestFailAtRequiresFailable(t *testing.T) {
+	srv, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if _, err := srv.FailAt(1); err == nil {
+		t.Fatal("FailAt accepted a server without FailableExecutors")
+	}
+}
+
+// TestCompletionAccountingMatchesDispatch pins the zero-cost guarantee
+// behind the cluster's empty-FaultPlan byte contract: switching the
+// engine to completion-time accounting (FailableExecutors) without ever
+// calling FailAt changes when the books are written, never what they
+// say — the full Result is byte-identical on the overload golden and on
+// a batched elastic scenario.
+func TestCompletionAccountingMatchesDispatch(t *testing.T) {
+	scenarios := map[string]Config{"golden": goldenConfig()}
+	batched := goldenConfig()
+	batched.Executors = 2
+	batched.BatchSize = 4
+	batched.Scheduler = "edf"
+	scenarios["batched-edf"] = batched
+	for name, cfg := range scenarios {
+		t.Run(name, func(t *testing.T) {
+			plain := marshal(t, mustRun(t, cfg))
+			cfg.FailableExecutors = true
+			failable := marshal(t, mustRun(t, cfg))
+			if !bytes.Equal(plain, failable) {
+				t.Error("completion-time accounting moved the books without any failure injected")
+			}
+		})
+	}
+}
+
+// TestPinModeOverridesControl pins the PinMode surface the degrade
+// failover rides on: a stream pinned to proposal-only serves every
+// subsequent frame degraded, and unpinning with ModeAuto hands the
+// stream back.
+func TestPinModeOverridesControl(t *testing.T) {
+	cfg := testConfig()
+	cfg.FailableExecutors = true
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if err := srv.PinMode(0, control.ModeProposal); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.PinMode(99, control.ModeProposal); err == nil {
+		t.Error("PinMode accepted an out-of-range stream")
+	}
+	if err := srv.PinMode(0, "warp"); err == nil {
+		t.Error("PinMode accepted an unknown mode")
+	}
+	if err := srv.Ingest(ScheduleSource(cfg)); err != nil {
+		t.Fatal(err)
+	}
+	r, err := srv.Drain(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinned := r.PerStream[0]
+	if pinned.Served == 0 {
+		t.Fatal("pinned stream served nothing")
+	}
+	if pinned.Degraded != pinned.Served {
+		t.Errorf("pinned stream served %d frames but only %d degraded — the pin did not hold", pinned.Served, pinned.Degraded)
+	}
+	for _, row := range r.PerStream[1:] {
+		if row.Degraded != 0 {
+			t.Errorf("unpinned stream %s degraded %d frames on an unloaded fleet", row.ID, row.Degraded)
+		}
+	}
+}

@@ -105,8 +105,24 @@ type streamAcc struct {
 	arrived, served            int
 	droppedQueue, droppedStale int
 	droppedPoison, reconnects  int
+	failedOver                 int
 	degraded, modeFull         int
 	latencies                  []float64
+}
+
+// pendingBatch is one in-flight launch under completion accounting
+// (Config.FailableExecutors): the frames of a dispatched batch, held
+// unrecorded until the completion event fires so a failAt between
+// dispatch and completion can seize them as if the launch never
+// happened. (t, stream, frame, epoch) mirrors the evCompletion event's
+// identity; batch is the dispatch ordinal the served events carry.
+type pendingBatch struct {
+	t      float64
+	stream int
+	frame  int
+	epoch  int
+	batch  int
+	frames []admitted
 }
 
 // arrivalTimes precomputes every stream's frame arrival instants within
@@ -191,6 +207,19 @@ type fleet struct {
 	busy    int
 	batches int
 
+	// Failover machinery (inert unless Config.FailableExecutors).
+	// failable selects completion-time accounting; pend holds the
+	// in-flight launches awaiting their completion events (at most the
+	// executor count, matched linearly); pinned[s], when not ModeAuto,
+	// overrides both the control plane and the DegradeDepth policy for
+	// stream s — the cluster's degrade failover holds re-placed streams
+	// at proposal-only with it until their dead shard recovers. The
+	// slice is allocated lazily on the first Server.PinMode call, so a
+	// never-pinned fleet pays nothing for it.
+	failable bool
+	pend     []pendingBatch
+	pinned   []control.Mode
+
 	// queued[s] counts stream s's frames currently waiting in the
 	// scheduler (admitted, not yet popped) — the per-stream backlog the
 	// cluster router's migration policy keys on. resized flips on the
@@ -261,14 +290,15 @@ type fleet struct {
 // newFleet builds the engine for a normalized, validated config.
 func newFleet(cfg Config) (*fleet, error) {
 	f := &fleet{
-		cfg:     cfg,
-		seed:    cfg.Seed,
-		gpu:     gpumodel.Default(),
-		cascade: cfg.Spec.Kind != sim.Single,
-		sink:    cfg.Sink,
-		win:     newLatWindow(cfg.StatsWindow),
-		workers: cfg.StepWorkers,
-		execs0:  cfg.Executors,
+		cfg:      cfg,
+		seed:     cfg.Seed,
+		gpu:      gpumodel.Default(),
+		cascade:  cfg.Spec.Kind != sim.Single,
+		sink:     cfg.Sink,
+		win:      newLatWindow(cfg.StatsWindow),
+		workers:  cfg.StepWorkers,
+		execs0:   cfg.Executors,
+		failable: cfg.FailableExecutors,
 	}
 	if cfg.GPU != nil {
 		f.gpu = *cfg.GPU
@@ -386,6 +416,9 @@ func (f *fleet) handle(e event) {
 		f.armTick(e.t)
 	case evCompletion:
 		f.busy--
+		if f.failable {
+			f.settle(e)
+		}
 	case evControl:
 		f.controlTick(e.t)
 	case evResize:
@@ -481,6 +514,7 @@ func (f *fleet) buildView() control.View {
 			sig.Class = f.cfg.Priorities[s]
 		}
 		sig.Mode = f.mode[s]
+		sig.Pinned = f.pin(s) != control.ModeAuto
 		sig.Queue = f.queued[s]
 		sig.ArrivalRate = f.arrWin[s].rate()
 		sig.P50, sig.P99 = f.latWinS[s].quantiles()
@@ -581,34 +615,122 @@ func (f *fleet) dispatch() {
 		f.batches++
 		head := batch[0].job
 		f.agenda.add(event{t: f.now + service, kind: evCompletion, stream: head.Stream, frame: head.Frame, epoch: head.Epoch})
-		for i := range batch {
-			adm := &batch[i]
-			a := &f.acc[adm.job.Stream]
-			a.served++
-			if adm.degraded() {
-				a.degraded++
-			}
-			if adm.mode == control.ModeFull {
-				a.modeFull++
-			}
-			lat := f.now + service - adm.job.Arrive
-			a.latencies = append(a.latencies, lat)
-			f.win.add(lat)
-			f.latWinS[adm.job.Stream].add(lat)
-			ev := Event{
-				Kind: EventServed, Stream: adm.job.Stream, Frame: adm.job.Frame,
-				Arrive: adm.job.Arrive, Time: f.now + service,
-				Latency: lat, Degraded: adm.degraded(), Batch: f.batches,
-				Epoch: adm.job.Epoch,
-			}
-			if f.ctrl != nil {
-				// Mode attribution only matters — and only changes trace
-				// bytes — on controlled runs.
-				ev.Mode = string(adm.mode)
-			}
-			f.emit(ev)
+		if f.failable {
+			// Completion accounting: hold the launch unrecorded until
+			// its completion event fires (settle), so a failAt between
+			// now and then can seize the frames as never-served.
+			f.pend = append(f.pend, pendingBatch{
+				t: f.now + service, stream: head.Stream, frame: head.Frame,
+				epoch: head.Epoch, batch: f.batches,
+				frames: append([]admitted(nil), batch...),
+			})
+			continue
+		}
+		f.account(batch, f.now+service, f.batches)
+	}
+}
+
+// account records a launch's frames as served at its completion instant
+// done: per-stream counters, latency samples, sliding windows and the
+// EventServed emissions. Under dispatch accounting (the default) it
+// runs inside dispatch with done = now + service — the historical byte
+// order every golden pins; under completion accounting
+// (Config.FailableExecutors) settle calls it when the completion event
+// fires, with identical values but emission deferred to the instant
+// the launch actually finishes.
+func (f *fleet) account(batch []admitted, done float64, batchNo int) {
+	for i := range batch {
+		adm := &batch[i]
+		a := &f.acc[adm.job.Stream]
+		a.served++
+		if adm.degraded() {
+			a.degraded++
+		}
+		if adm.mode == control.ModeFull {
+			a.modeFull++
+		}
+		lat := done - adm.job.Arrive
+		a.latencies = append(a.latencies, lat)
+		f.win.add(lat)
+		f.latWinS[adm.job.Stream].add(lat)
+		ev := Event{
+			Kind: EventServed, Stream: adm.job.Stream, Frame: adm.job.Frame,
+			Arrive: adm.job.Arrive, Time: done,
+			Latency: lat, Degraded: adm.degraded(), Batch: batchNo,
+			Epoch: adm.job.Epoch,
+		}
+		if f.ctrl != nil {
+			// Mode attribution only matters — and only changes trace
+			// bytes — on controlled runs.
+			ev.Mode = string(adm.mode)
+		}
+		f.emit(ev)
+	}
+}
+
+// settle performs completion accounting for the launch whose completion
+// event just fired and forgets it. At most Executors launches are in
+// flight, so the linear match is cheap; the (t, stream, frame, epoch)
+// key is unique among live launches — a head frame can only reappear
+// after the launch holding it was seized by failAt, which removes it
+// from pend first.
+func (f *fleet) settle(e event) {
+	for i := range f.pend {
+		p := &f.pend[i]
+		if p.t == e.t && p.stream == e.stream && p.frame == e.frame && p.epoch == e.epoch {
+			f.account(p.frames, p.t, p.batch)
+			f.pend = append(f.pend[:i], f.pend[i+1:]...)
+			return
 		}
 	}
+}
+
+// failAt kills the fleet's hardware at virtual time t: pending launches
+// are cancelled (their frames were never recorded — under completion
+// accounting the launch simply never happened), queued frames are
+// popped, the agenda is cleared (completions, provisioning resizes and
+// the armed control tick die with the machine) and the executor count
+// drops to zero until a later ResizeAt revives it. The seized frames
+// come back in dispatch-then-queue order — which preserves per-stream
+// frame order, so a caller replaying them elsewhere keeps every
+// stream's timeline monotone — each counted in StreamStats.FailedOver
+// and emitted as an EventFailedOver at the failure instant. Requires
+// completion accounting: under dispatch accounting in-flight frames
+// are already in the books and could not be seized.
+func (f *fleet) failAt(t float64) []FailedFrame {
+	f.tick(t)
+	var seized []FailedFrame
+	grab := func(j sched.Job) {
+		f.acc[j.Stream].failedOver++
+		f.emit(Event{
+			Kind: EventFailedOver, Stream: j.Stream, Frame: j.Frame,
+			Arrive: j.Arrive, Time: t, Epoch: j.Epoch,
+		})
+		seized = append(seized, FailedFrame{Stream: j.Stream, Frame: j.Frame, Arrive: j.Arrive, Epoch: j.Epoch})
+	}
+	for i := range f.pend {
+		for j := range f.pend[i].frames {
+			grab(f.pend[i].frames[j].job)
+		}
+	}
+	f.pend = f.pend[:0]
+	for f.sched.Len() > 0 {
+		j, ok := f.sched.Next()
+		if !ok {
+			break
+		}
+		f.queued[j.Stream]--
+		grab(j)
+	}
+	f.agenda = f.agenda[:0]
+	f.tickArmed = false
+	f.busy = 0
+	f.resized = true
+	if f.cfg.Executors != 0 {
+		f.cfg.Executors = 0
+		f.resizes++
+	}
+	return seized
 }
 
 // gather pulls up to the effective batch size of servable frames from
@@ -639,13 +761,26 @@ func (f *fleet) gather() {
 		}
 		mode := control.ModeAuto
 		if f.cascade {
-			if mode = f.mode[j.Stream]; mode == control.ModeAuto &&
+			if p := f.pin(j.Stream); p != control.ModeAuto {
+				// A pinned stream ignores both the control plane and the
+				// DegradeDepth policy until unpinned (see Server.PinMode).
+				mode = p
+			} else if mode = f.mode[j.Stream]; mode == control.ModeAuto &&
 				f.cfg.DegradeDepth > 0 && f.sched.Len() >= f.cfg.DegradeDepth {
 				mode = control.ModeProposal
 			}
 		}
 		f.adm = append(f.adm, admitted{job: j, mode: mode})
 	}
+}
+
+// pin reads stream s's pinned mode; ModeAuto (the zero value) when the
+// fleet was never pinned.
+func (f *fleet) pin(s int) control.Mode {
+	if f.pinned == nil {
+		return control.ModeAuto
+	}
+	return f.pinned[s]
 }
 
 // stepRound runs the round's real CPU work — stepping each admitted
@@ -898,6 +1033,7 @@ func (f *fleet) stats() Stats {
 		st.DroppedStale += a.droppedStale
 		st.DroppedPoison += a.droppedPoison
 		st.Reconnects += a.reconnects
+		st.FailedOver += a.failedOver
 		st.Degraded += a.degraded
 	}
 	if st.Now > 0 {
@@ -991,6 +1127,7 @@ func (f *fleet) result() *Result {
 			DroppedStale:  a.droppedStale,
 			DroppedPoison: a.droppedPoison,
 			Reconnects:    a.reconnects,
+			FailedOver:    a.failedOver,
 			Degraded:      a.degraded,
 			ModeFull:      a.modeFull,
 			Throughput:    rate(a.served),
@@ -1006,6 +1143,7 @@ func (f *fleet) result() *Result {
 		fleetRow.DroppedStale += a.droppedStale
 		fleetRow.DroppedPoison += a.droppedPoison
 		fleetRow.Reconnects += a.reconnects
+		fleetRow.FailedOver += a.failedOver
 		fleetRow.Degraded += a.degraded
 		fleetRow.ModeFull += a.modeFull
 		all = append(all, a.latencies...)
@@ -1063,6 +1201,7 @@ func (f *fleet) perClass(rate func(int) float64) []StreamStats {
 		row.DroppedStale += a.droppedStale
 		row.DroppedPoison += a.droppedPoison
 		row.Reconnects += a.reconnects
+		row.FailedOver += a.failedOver
 		row.Degraded += a.degraded
 		row.ModeFull += a.modeFull
 		lats[c] = append(lats[c], a.latencies...)

@@ -199,6 +199,19 @@ type Config struct {
 	// is exactly as deterministic as a clean one.
 	Chaos Chaos
 
+	// FailableExecutors switches the engine to completion-time
+	// accounting: a dispatched launch's frames are recorded as served
+	// (counters, latency samples, sink events) only when its completion
+	// event fires, instead of at dispatch. The two orderings price and
+	// count frames identically on a healthy server; the switch exists so
+	// Server.FailAt can seize in-flight launches — under dispatch
+	// accounting their frames are already in the books the instant they
+	// launch, and a failure could not take them back. The cluster router
+	// sets it for every shard of a cluster with an active FaultPlan;
+	// leave it off otherwise, as the ordering shift can perturb
+	// floating-point latency aggregation against historical goldens.
+	FailableExecutors bool
+
 	// DegradeDepth, when positive, degrades service to the proposal
 	// network only (the refinement pass is shed) whenever at least
 	// this many frames are still waiting behind the one being
@@ -441,6 +454,17 @@ type StreamStats struct {
 	// the case for a fault-free scenario.
 	DroppedPoison int `json:"dropped_poison,omitempty"`
 	Reconnects    int `json:"reconnects,omitempty"`
+	// FailedOver counts frames seized from this server by a shard kill
+	// (Server.FailAt): queued or in-flight when the hardware died,
+	// handed back to the cluster to replay or drop. Replayed and
+	// DroppedFailover are filled only in merged cluster rows: frames
+	// re-submitted to a surviving shard (each replay is subtracted from
+	// the merged Arrived so offered load stays the schedule's), and
+	// seized frames discarded under the drop failover policy. All three
+	// stay 0 — and omitted — on fault-free runs.
+	FailedOver      int `json:"failed_over,omitempty"`
+	Replayed        int `json:"replayed,omitempty"`
+	DroppedFailover int `json:"dropped_failover,omitempty"`
 	// Degraded counts served frames that ran proposal-only.
 	Degraded int `json:"degraded"`
 	// ModeFull counts served frames that ran full-frame refinement

@@ -7,6 +7,8 @@ import (
 	"math"
 	"sort"
 	"sync"
+
+	"repro/internal/serve/control"
 )
 
 // ErrClosed is returned by Submit, Ingest and Drain after Close.
@@ -45,6 +47,13 @@ const (
 	// new mode and Time the decision instant (Arrive/Frame are zero —
 	// the switch is a stream-level decision, not a frame outcome).
 	EventModeSwitch EventKind = "mode-switch"
+	// EventFailedOver fires for each frame Server.FailAt seizes from a
+	// dying server — queued or in-flight at the failure instant: Frame
+	// is the effective (world) index, Arrive the original arrival stamp
+	// and Time the failure instant. What happens to the frame next
+	// (replay elsewhere, drop) is the seizing caller's policy — see the
+	// cluster FaultPlan.
+	EventFailedOver EventKind = "failed-over"
 )
 
 // Event is one per-frame serving outcome, reported to the configured
@@ -407,6 +416,78 @@ func (s *Server) ResizeAt(n int, at float64) error {
 		at = s.f.now
 	}
 	s.f.agenda.add(event{t: at, kind: evResize, execs: n})
+	return nil
+}
+
+// FailedFrame is one frame seized from a failed Server: the stream, the
+// effective (world) frame index as this server had admitted it, the
+// original arrival stamp and the capture-session epoch — everything a
+// cluster needs to replay the frame on a surviving shard (where the
+// index re-enters Submit as a wire index against that shard's own
+// causality state, so PR 6 reconnect semantics apply on collision).
+type FailedFrame struct {
+	Stream int
+	Frame  int
+	Arrive float64
+	Epoch  int
+}
+
+// FailAt models the server's hardware dying at virtual time t: the
+// engine advances to t, then every in-flight launch is cancelled and
+// every queued frame popped — the seized frames are returned in
+// dispatch-then-queue order (per-stream frame order preserved), each
+// counted in StreamStats.FailedOver and emitted as an EventFailedOver —
+// the agenda is cleared (pending completions, provisioning resizes and
+// the armed control tick die with the machine) and the executor count
+// drops to 0 until a later ResizeAt revives the shard. Requires
+// Config.FailableExecutors: under the default dispatch-time accounting
+// an in-flight launch's frames are already in the books and cannot be
+// seized back.
+func (s *Server) FailAt(t float64) ([]FailedFrame, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if !s.f.failable {
+		return nil, errors.New("serve: FailAt: requires Config.FailableExecutors (completion-time accounting)")
+	}
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		return nil, fmt.Errorf("serve: FailAt: %v is not a finite time", t)
+	}
+	if t < s.f.now {
+		t = s.f.now
+	}
+	s.f.advanceTo(t)
+	return s.f.failAt(t), nil
+}
+
+// PinMode pins a stream's operating mode, overriding both the adaptive
+// control plane and the DegradeDepth policy until the stream is
+// unpinned with control.ModeAuto. The cluster's degrade failover uses
+// it to hold the streams of a dead shard at proposal-only on their
+// fallback shards until the home shard recovers. Pins only affect
+// cascade systems — a single-model fleet has no cheaper mode — and
+// only frames admitted after the pin; queued frames keep the mode
+// resolved at their dispatch.
+func (s *Server) PinMode(stream int, mode control.Mode) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if stream < 0 || stream >= s.f.cfg.Streams {
+		return fmt.Errorf("serve: PinMode: stream %d out of range [0,%d)", stream, s.f.cfg.Streams)
+	}
+	switch mode {
+	case control.ModeAuto, control.ModeFull, control.ModeCascade, control.ModeProposal:
+	default:
+		return fmt.Errorf("serve: PinMode: unknown mode %q", mode)
+	}
+	if s.f.pinned == nil {
+		s.f.pinned = make([]control.Mode, s.f.cfg.Streams)
+	}
+	s.f.pinned[stream] = mode
 	return nil
 }
 

@@ -65,7 +65,11 @@ type Stats struct {
 	DroppedStale  int `json:"dropped_stale"`
 	DroppedPoison int `json:"dropped_poison,omitempty"`
 	Reconnects    int `json:"reconnects,omitempty"`
-	Degraded      int `json:"degraded"`
+	// FailedOver counts frames seized by Server.FailAt — queued or
+	// in-flight when the shard's hardware died; 0 unless the server
+	// belongs to a cluster with an active FaultPlan.
+	FailedOver int `json:"failed_over,omitempty"`
+	Degraded   int `json:"degraded"`
 	// Instantaneous fleet state: frames waiting in the scheduler,
 	// executors currently serving a launch, and the current executor
 	// count (equal to Config.Executors until Server.ResizeAt changes
